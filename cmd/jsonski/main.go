@@ -1,0 +1,109 @@
+// Command jsonski evaluates a JSONPath expression over a JSON file in a
+// single streaming pass, printing each match on its own line.
+//
+// Usage:
+//
+//	jsonski -q '$.place.name' file.json
+//	cat file.json | jsonski -q '$[*].text' -count -stats
+//
+// With -records the input is treated as newline-delimited JSON (one
+// record per line) and -workers enables parallel record processing.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"jsonski"
+)
+
+func main() {
+	var (
+		query   = flag.String("q", "", "JSONPath query (required), e.g. '$.store.book[0:2].title'")
+		count   = flag.Bool("count", false, "print only the number of matches")
+		stats   = flag.Bool("stats", false, "print fast-forward statistics to stderr")
+		records = flag.Bool("records", false, "input is newline-delimited JSON records")
+		workers = flag.Int("workers", 1, "parallel workers for -records (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*query, *count, *stats, *records, *workers, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonski:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query string, countOnly, showStats, records bool, workers int, args []string) error {
+	if query == "" {
+		return fmt.Errorf("missing -q query")
+	}
+	q, err := jsonski.Compile(query)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	switch len(args) {
+	case 0:
+		data, err = io.ReadAll(bufio.NewReader(os.Stdin))
+	case 1:
+		data, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("expected at most one input file, got %d", len(args))
+	}
+	if err != nil {
+		return err
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var emit func(m jsonski.Match)
+	var mu sync.Mutex
+	if !countOnly {
+		emit = func(m jsonski.Match) {
+			mu.Lock()
+			out.Write(m.Value)
+			out.WriteByte('\n')
+			mu.Unlock()
+		}
+	}
+
+	start := time.Now()
+	var st jsonski.Stats
+	if records {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		var recs [][]byte
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			if len(bytes.TrimSpace(line)) > 0 {
+				recs = append(recs, line)
+			}
+		}
+		st, err = q.RunRecordsParallel(recs, workers, emit)
+	} else {
+		st, err = q.Run(data, emit)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if countOnly {
+		fmt.Fprintln(out, st.Matches)
+	}
+	if showStats {
+		fmt.Fprintf(os.Stderr, "matches: %d\n", st.Matches)
+		fmt.Fprintf(os.Stderr, "input: %d bytes in %v (%.0f MB/s)\n",
+			st.InputBytes, elapsed, float64(st.InputBytes)/elapsed.Seconds()/1e6)
+		fmt.Fprintf(os.Stderr, "fast-forwarded: %.2f%% of input\n", st.FastForwardRatio()*100)
+		for g := 0; g < 5; g++ {
+			fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%\n", g+1, st.GroupRatio(g)*100)
+		}
+	}
+	return nil
+}

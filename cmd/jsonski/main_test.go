@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOnFile(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(f, []byte(`{"a": {"b": 7}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("$.a.b", true, true, false, 1, []string{f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", false, false, false, 1, []string{f}); err == nil {
+		t.Fatal("missing query should error")
+	}
+	if err := run("$..", false, false, false, 1, []string{f}); err == nil {
+		t.Fatal("bad query should error")
+	}
+	if err := run("$.a", false, false, false, 1, []string{f, f}); err == nil {
+		t.Fatal("two files should error")
+	}
+	if err := run("$.a", false, false, false, 1, []string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestRunRecordsMode(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "in.ndjson")
+	if err := os.WriteFile(f, []byte("{\"v\":1}\n\n{\"v\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("$.v", true, false, true, 0, []string{f}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	if n, err := parseSize("4MB"); err != nil || n != 4<<20 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := parseSize("junk"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int]string{
+		500:     "500B",
+		2 << 10: "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.0GB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs every experiment at a tiny size to keep the
+// tables wired to working code.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	h := &harness{size: 96 << 10, workers: 2, seed: 7}
+	h.table4()
+	h.fig13()
+	h.table6()
+}

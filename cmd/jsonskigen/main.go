@@ -1,0 +1,110 @@
+// Command jsonskigen generates the synthetic evaluation datasets
+// (paper Table 4 analogs) and prints their structural statistics.
+//
+// Usage:
+//
+//	jsonskigen -dataset tt -size 64MB -o tt.json        # one large record
+//	jsonskigen -dataset bb -size 16MB -records -o bb.ndjson
+//	jsonskigen -stats                                   # Table 4 for all
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jsonski/internal/gen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset name: "+strings.Join(gen.Names, ", "))
+		size    = flag.String("size", "8MB", "approximate output size (e.g. 512KB, 64MB, 1GB)")
+		records = flag.Bool("records", false, "emit newline-delimited small records instead of one large record")
+		out     = flag.String("o", "-", "output file ('-' = stdout)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		stats   = flag.Bool("stats", false, "print Table-4-style statistics for every dataset and exit")
+	)
+	flag.Parse()
+	if err := run(*dataset, *size, *records, *out, *seed, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskigen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func run(dataset, sizeStr string, records bool, out string, seed int64, stats bool) error {
+	size, err := parseSize(sizeStr)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Printf("%-6s %12s %10s %10s %10s %10s %6s\n",
+			"data", "bytes", "#objects", "#arrays", "#attr", "#prim", "depth")
+		for _, name := range gen.Names {
+			data, err := gen.Generate(name, size, seed)
+			if err != nil {
+				return err
+			}
+			st := gen.Stats(data)
+			fmt.Printf("%-6s %12d %10d %10d %10d %10d %6d\n",
+				strings.ToUpper(name), st.Bytes, st.Objects, st.Arrays,
+				st.Attributes, st.Primitives, st.MaxDepth)
+		}
+		return nil
+	}
+	if dataset == "" {
+		return fmt.Errorf("missing -dataset (or use -stats)")
+	}
+	var w *bufio.Writer
+	if out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	if records {
+		recs, err := gen.GenerateRecords(dataset, size, seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			w.Write(r)
+			w.WriteByte('\n')
+		}
+		return nil
+	}
+	data, err := gen.Generate(dataset, size, seed)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

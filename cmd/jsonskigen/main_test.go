@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"8MB", 8 << 20, true},
+		{"512KB", 512 << 10, true},
+		{"1GB", 1 << 30, true},
+		{"100B", 100, true},
+		{"42", 42, true},
+		{" 2 MB ", 2 << 20, true},
+		{"", 0, false},
+		{"-5MB", 0, false},
+		{"xMB", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseSize(%q) should fail", c.in)
+		}
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	if err := run("", "64KB", false, "-", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "64KB", false, "-", 1, false); err == nil {
+		t.Fatal("missing dataset should error")
+	}
+	if err := run("tt", "bogus", false, "-", 1, false); err == nil {
+		t.Fatal("bad size should error")
+	}
+}

@@ -1,0 +1,330 @@
+package jsonski_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"jsonski"
+	"jsonski/internal/baseline/charstream"
+	"jsonski/internal/baseline/domparser"
+	"jsonski/internal/baseline/index"
+	"jsonski/internal/baseline/tape"
+	"jsonski/internal/gen"
+	"jsonski/internal/queries"
+)
+
+// paperQueries re-exports the Table 5 bindings for the crosscheck tests.
+func paperQueries() []queries.Q { return queries.All }
+
+// method adapts every implementation to a common signature.
+type method struct {
+	name string
+	eval func(query string, data []byte) ([]string, error)
+}
+
+func methods() []method {
+	return []method{
+		{"jsonski", func(q string, data []byte) ([]string, error) {
+			cq, err := jsonski.Compile(q)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = cq.Run(data, func(m jsonski.Match) { out = append(out, string(m.Value)) })
+			return out, err
+		}},
+		{"charstream", func(q string, data []byte) ([]string, error) {
+			ev, err := charstream.Compile(q)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+		{"domparser", func(q string, data []byte) ([]string, error) {
+			ev, err := domparser.Compile(q)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+		{"tape", func(q string, data []byte) ([]string, error) {
+			ev, err := tape.Compile(q)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+		{"index", func(q string, data []byte) ([]string, error) {
+			ev, err := index.Compile(q)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+	}
+}
+
+// normalize reduces each matched value to canonical JSON so span
+// differences in whitespace don't count as disagreements.
+func normalize(t *testing.T, vals []string) []string {
+	t.Helper()
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		var x any
+		if err := json.Unmarshal([]byte(v), &x); err != nil {
+			t.Fatalf("invalid JSON emitted: %q (%v)", v, err)
+		}
+		enc, _ := json.Marshal(x)
+		out = append(out, string(enc))
+	}
+	return out
+}
+
+func genValue(rng *rand.Rand, depth int) any {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return rng.Intn(10000)
+		case 1:
+			return `s{}[],:"\` + strings.Repeat("x", rng.Intn(8))
+		case 2:
+			return true
+		case 3:
+			return -rng.Float64() * 1e6
+		default:
+			return nil
+		}
+	}
+	if rng.Intn(2) == 0 {
+		keys := []string{"a", "b", "c", "id", "name", "items", "v"}
+		m := map[string]any{}
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			m[keys[rng.Intn(len(keys))]] = genValue(rng, depth-1)
+		}
+		return m
+	}
+	arr := make([]any, 0, 4)
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		arr = append(arr, genValue(rng, depth-1))
+	}
+	return arr
+}
+
+// TestAllMethodsAgree is the cross-validation backbone: every method must
+// produce the same multiset of matches on random documents. Order can
+// legitimately differ only for .* (not generated here), so exact order is
+// required.
+func TestAllMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	queries := []string{
+		"$.a", "$.a.b", "$.items[*]", "$.items[1:3]", "$[*].id",
+		"$[*].a.name", "$[0]", "$[2:5]", "$.b[*].c", "$[*][*]",
+		"$.v", "$.items[*].v", "$",
+	}
+	ms := methods()
+	for trial := 0; trial < 250; trial++ {
+		doc := genValue(rng, 5)
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := queries[trial%len(queries)]
+		var ref []string
+		for i, m := range ms {
+			got, err := m.eval(q, enc)
+			if err != nil {
+				t.Fatalf("trial %d %s %s: %v\ndoc: %s", trial, m.name, q, err, enc)
+			}
+			norm := normalize(t, got)
+			if i == 0 {
+				ref = norm
+				continue
+			}
+			if len(norm) != len(ref) {
+				t.Fatalf("trial %d %s on %s: %d matches, jsonski found %d\ndoc: %s\n%v\nvs\n%v",
+					trial, m.name, q, len(norm), len(ref), enc, norm, ref)
+			}
+			for j := range norm {
+				if norm[j] != ref[j] {
+					t.Fatalf("trial %d %s on %s: match %d = %q, jsonski %q\ndoc: %s",
+						trial, m.name, q, j, norm[j], ref[j], enc)
+				}
+			}
+		}
+	}
+}
+
+// TestAllMethodsAgreeOnPaperShapes exercises the 12 query structures of
+// Table 5 on documents shaped like the matching datasets.
+func TestAllMethodsAgreeOnPaperShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	type shaped struct {
+		query string
+		doc   func() any
+	}
+	randText := func() string {
+		return strings.Repeat("tweet text, with [brackets] and {braces}: ", rng.Intn(3)+1)
+	}
+	tweet := func() any {
+		m := map[string]any{
+			"text": randText(),
+			"user": map[string]any{"id": rng.Intn(1e6)},
+		}
+		if rng.Intn(2) == 0 {
+			urls := []any{}
+			for i := 0; i < rng.Intn(3); i++ {
+				urls = append(urls, map[string]any{"url": fmt.Sprintf("https://x.test/%d", i), "idx": []any{1, 2}})
+			}
+			m["en"] = map[string]any{"urls": urls, "tags": []any{"a", "b"}}
+		}
+		return m
+	}
+	shapes := []shaped{
+		{"$[*].en.urls[*].url", func() any {
+			arr := []any{}
+			for i := 0; i < 20; i++ {
+				arr = append(arr, tweet())
+			}
+			return arr
+		}},
+		{"$[*].text", func() any {
+			arr := []any{}
+			for i := 0; i < 20; i++ {
+				arr = append(arr, tweet())
+			}
+			return arr
+		}},
+		{"$.pd[*].cp[1:3].id", func() any {
+			pd := []any{}
+			for i := 0; i < 15; i++ {
+				cp := []any{}
+				for j := 0; j < rng.Intn(6); j++ {
+					cp = append(cp, map[string]any{"id": j, "w": randText()})
+				}
+				pd = append(pd, map[string]any{"cp": cp, "sku": i})
+			}
+			return map[string]any{"pd": pd, "total": 15}
+		}},
+		{"$.dt[*][*][2:4]", func() any {
+			dt := []any{}
+			for i := 0; i < 5; i++ {
+				row := []any{}
+				for j := 0; j < rng.Intn(4); j++ {
+					cell := []any{}
+					for k := 0; k < rng.Intn(7); k++ {
+						cell = append(cell, rng.Intn(100))
+					}
+					row = append(row, cell)
+				}
+				dt = append(dt, row)
+			}
+			return map[string]any{"dt": dt}
+		}},
+		{"$[10:21].cl.P150[*].ms.pty", func() any {
+			arr := []any{}
+			for i := 0; i < 30; i++ {
+				p150 := []any{}
+				for j := 0; j < rng.Intn(3); j++ {
+					p150 = append(p150, map[string]any{"ms": map[string]any{"pty": j}})
+				}
+				arr = append(arr, map[string]any{"cl": map[string]any{"P150": p150}, "id": i})
+			}
+			return arr
+		}},
+	}
+	ms := methods()
+	for si, sh := range shapes {
+		for trial := 0; trial < 10; trial++ {
+			enc, err := json.Marshal(sh.doc())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []string
+			for i, m := range ms {
+				got, err := m.eval(sh.query, enc)
+				if err != nil {
+					t.Fatalf("shape %d %s: %v", si, m.name, err)
+				}
+				norm := normalize(t, got)
+				sort.Strings(norm) // map key order varies per method? no—but keep robust
+				if i == 0 {
+					ref = norm
+					continue
+				}
+				if fmt.Sprint(norm) != fmt.Sprint(ref) {
+					t.Fatalf("shape %d trial %d %s on %s:\n%v\nvs jsonski\n%v",
+						si, trial, m.name, sh.query, norm, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestAllMethodsAgreeOnPrettyPrintedDocs re-runs the differential check
+// on indented documents: whitespace between every token stresses the
+// SkipWS paths and span trimming of all five methods.
+func TestAllMethodsAgreeOnPrettyPrintedDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	queries := []string{"$.a", "$.items[1:3]", "$[*].id", "$.b[*].c", "$[0]", "$.items[*].v"}
+	ms := methods()
+	for trial := 0; trial < 100; trial++ {
+		doc := genValue(rng, 4)
+		enc, err := json.MarshalIndent(doc, "", "    ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := queries[trial%len(queries)]
+		var ref []string
+		for i, m := range ms {
+			got, err := m.eval(q, enc)
+			if err != nil {
+				t.Fatalf("trial %d %s %s: %v\ndoc: %s", trial, m.name, q, err, enc)
+			}
+			norm := normalize(t, got)
+			if i == 0 {
+				ref = norm
+				continue
+			}
+			if fmt.Sprint(norm) != fmt.Sprint(ref) {
+				t.Fatalf("trial %d %s on %s (pretty):\n%v\nvs jsonski\n%v\ndoc: %s",
+					trial, m.name, q, norm, ref, enc)
+			}
+		}
+	}
+}
+
+// TestJSONSkiOnGeneratedDatasetsMatchesDOM runs each paper query over a
+// fresh seed and compares jsonski's match count with the DOM baseline.
+func TestJSONSkiOnGeneratedDatasetsMatchesDOM(t *testing.T) {
+	for _, q := range paperQueries() {
+		data, err := gen.Generate(q.Dataset, 1<<19, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cq := jsonski.MustCompile(q.Large)
+		n1, err := cq.Count(data)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		ev, _ := domparser.Compile(q.Large)
+		n2, err := ev.Count(data)
+		if err != nil {
+			t.Fatalf("%s dom: %v", q.ID, err)
+		}
+		if n1 != n2 {
+			t.Errorf("%s: jsonski %d, dom %d", q.ID, n1, n2)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Multiquery: evaluate several JSONPath expressions in one streaming
+// pass with a QuerySet, and validate untrusted input first.
+//
+//	go run ./examples/multiquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jsonski"
+	"jsonski/internal/gen"
+)
+
+func main() {
+	data, err := gen.Generate("wm", 4<<20, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fast-forwarding skips validation by design (paper §3.3); check
+	// untrusted input once up front.
+	if !jsonski.Valid(data) {
+		log.Fatal("input is not well-formed JSON")
+	}
+
+	exprs := []string{
+		"$.it[*].nm",
+		"$.it[*].salePrice",
+		"$.it[*].bmrpr.pr",
+	}
+	qs := jsonski.MustCompileSet(exprs...)
+
+	start := time.Now()
+	counts := make([]int64, qs.Len())
+	var cheapest float64 = 1 << 30
+	st, err := qs.Run(data, func(m jsonski.SetMatch) {
+		counts[m.Query]++
+		if qs.Expr(m.Query) == "$.it[*].salePrice" {
+			if f, err := m.Float(); err == nil && f < cheapest {
+				cheapest = f
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared := time.Since(start)
+
+	// The same three queries, run back to back.
+	start = time.Now()
+	for _, e := range exprs {
+		if _, err := jsonski.MustCompile(e).Count(data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sequential := time.Since(start)
+
+	for i, e := range exprs {
+		fmt.Printf("%-22s %8d matches\n", e, counts[i])
+	}
+	fmt.Printf("cheapest sale price: %.2f\n", cheapest)
+	fmt.Printf("shared pass: %v   sequential: %v   (%d matches total, ff %.1f%%)\n",
+		shared, sequential, st.Matches, st.FastForwardRatio()*100)
+}

@@ -1,0 +1,3 @@
+module jsonski
+
+go 1.22

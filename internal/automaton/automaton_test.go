@@ -1,0 +1,185 @@
+package automaton
+
+import (
+	"testing"
+
+	"jsonski/internal/jsonpath"
+)
+
+func compile(t *testing.T, q string) *Automaton {
+	t.Helper()
+	p, err := jsonpath.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(p)
+}
+
+func TestMatchKeyProgression(t *testing.T) {
+	a := compile(t, "$.place.name")
+	q, st := a.MatchKey(0, []byte("place"))
+	if st != Matched || q != 1 {
+		t.Fatalf("MatchKey(place) = %d,%v", q, st)
+	}
+	q, st = a.MatchKey(1, []byte("name"))
+	if st != Accept || q != 2 {
+		t.Fatalf("MatchKey(name) = %d,%v", q, st)
+	}
+	_, st = a.MatchKey(0, []byte("user"))
+	if st != Unmatched {
+		t.Fatalf("MatchKey(user) = %v", st)
+	}
+	// beyond accept state, nothing matches
+	_, st = a.MatchKey(2, []byte("anything"))
+	if st != Unmatched {
+		t.Fatalf("MatchKey at accept = %v", st)
+	}
+}
+
+func TestMatchKeyEscapedName(t *testing.T) {
+	// escaped quote in the JSON input matching a plain query name
+	c := compile(t, `$['say "hi"']`)
+	if _, st := c.MatchKey(0, []byte(`say \"hi\"`)); st != Accept {
+		t.Fatalf("escaped key should match, got %v", st)
+	}
+	// unicode escape A = 'A'
+	d := compile(t, "$.A")
+	if _, st := d.MatchKey(0, []byte(`\u0041`)); st != Accept {
+		t.Fatalf("unicode-escaped key should match, got %v", st)
+	}
+}
+
+func TestMatchIndex(t *testing.T) {
+	a := compile(t, "$[2:4].id")
+	if _, st := a.MatchIndex(0, 1); st != Unmatched {
+		t.Fatalf("idx 1 = %v", st)
+	}
+	if q, st := a.MatchIndex(0, 2); st != Matched || q != 1 {
+		t.Fatalf("idx 2 = %d,%v", q, st)
+	}
+	if _, st := a.MatchIndex(0, 4); st != Unmatched {
+		t.Fatalf("idx 4 = %v", st)
+	}
+	// index on an object state
+	if _, st := a.MatchIndex(1, 0); st != Unmatched {
+		t.Fatalf("index at child step = %v", st)
+	}
+}
+
+func TestWildcardIndex(t *testing.T) {
+	a := compile(t, "$[*]")
+	for _, i := range []int{0, 5, 100000} {
+		if _, st := a.MatchIndex(0, i); st != Accept {
+			t.Fatalf("wildcard idx %d = %v", i, st)
+		}
+	}
+}
+
+func TestAnyChild(t *testing.T) {
+	a := compile(t, "$.*")
+	if _, st := a.MatchKey(0, []byte("whatever")); st != Accept {
+		t.Fatalf("any-child = %v", st)
+	}
+}
+
+func TestRange(t *testing.T) {
+	a := compile(t, "$[2:4]")
+	lo, hi, ok := a.Range(0)
+	if !ok || lo != 2 || hi != 4 {
+		t.Fatalf("Range = %d,%d,%v", lo, hi, ok)
+	}
+	b := compile(t, "$[*]")
+	if _, _, ok := b.Range(0); ok {
+		t.Fatal("wildcard should be unconstrained")
+	}
+	c := compile(t, "$.x")
+	if _, _, ok := c.Range(0); ok {
+		t.Fatal("child step should be unconstrained")
+	}
+	d := compile(t, "$[7]")
+	lo, hi, ok = d.Range(0)
+	if !ok || lo != 7 || hi != 8 {
+		t.Fatalf("index Range = %d,%d,%v", lo, hi, ok)
+	}
+}
+
+func TestTypeExpected(t *testing.T) {
+	a := compile(t, "$.pd[*].cp[1:3].id")
+	// state 0 (.pd) expects array (next is [*])
+	if got := a.TypeExpected(0); got != jsonpath.Array {
+		t.Errorf("state 0 expects %v", got)
+	}
+	// state 1 ([*]) expects object (.cp)
+	if got := a.TypeExpected(1); got != jsonpath.Object {
+		t.Errorf("state 1 expects %v", got)
+	}
+	// state 2 (.cp) expects array ([1:3])
+	if got := a.TypeExpected(2); got != jsonpath.Array {
+		t.Errorf("state 2 expects %v", got)
+	}
+	// state 4 (.id, last) unknown
+	if got := a.TypeExpected(4); got != jsonpath.Unknown {
+		t.Errorf("state 4 expects %v", got)
+	}
+	// accept state unknown
+	if got := a.TypeExpected(5); got != jsonpath.Unknown {
+		t.Errorf("accept expects %v", got)
+	}
+}
+
+func TestStateClassifiers(t *testing.T) {
+	a := compile(t, "$.pd[*].id")
+	if !a.IsObjectState(0) || a.IsArrayState(0) {
+		t.Error("state 0 should be an object state")
+	}
+	if !a.IsArrayState(1) || a.IsObjectState(1) {
+		t.Error("state 1 should be an array state")
+	}
+	if a.IsObjectState(3) || a.IsArrayState(3) {
+		t.Error("accept state classifies as neither")
+	}
+}
+
+func TestRootTypeAndStepCount(t *testing.T) {
+	a := compile(t, "$[*].text")
+	if a.RootType() != jsonpath.Array {
+		t.Errorf("RootType = %v", a.RootType())
+	}
+	if a.StepCount() != 2 {
+		t.Errorf("StepCount = %d", a.StepCount())
+	}
+	if a.Step(1).Name != "text" {
+		t.Errorf("Step(1) = %+v", a.Step(1))
+	}
+}
+
+func TestUnescape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, "plain"},
+		{`a\"b`, `a"b`},
+		{`a\\b`, `a\b`},
+		{`a\/b`, "a/b"},
+		{`a\nb`, "a\nb"},
+		{`a\tb`, "a\tb"},
+		{`a\rb`, "a\rb"},
+		{`a\bb`, "a\bb"},
+		{`a\fb`, "a\fb"},
+		{`\u0041`, "A"},
+		{`\u00e9`, "é"},
+		{`\u20ac`, "€"},
+		{`\uZZZZ`, `\uZZZZ`}, // invalid escape kept verbatim
+		{`\q`, `\q`},         // unknown escape kept verbatim
+		{`trailing\`, `trailing\`},
+	}
+	for _, c := range cases {
+		if got := string(unescape([]byte(c.in))); got != c.want {
+			t.Errorf("unescape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Unmatched.String() != "unmatched" || Matched.String() != "matched" || Accept.String() != "accept" {
+		t.Fatal("Status.String broken")
+	}
+}

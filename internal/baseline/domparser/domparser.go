@@ -1,0 +1,281 @@
+// Package domparser is the RapidJSON-class baseline: the preprocessing
+// scheme of paper §2, Figure 3-(a). It parses every record into an
+// in-memory tree (a DOM) character by character, then evaluates path
+// queries by traversing the tree. Its costs — an upfront parse of the
+// whole input and memory proportional to the tree — are exactly the
+// overheads the streaming scheme avoids, which Figures 10–14 quantify.
+package domparser
+
+import (
+	"fmt"
+
+	"jsonski/internal/jsonpath"
+)
+
+// Kind tags a DOM node.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindObject Kind = iota
+	KindArray
+	KindString
+	KindNumber
+	KindBool
+	KindNull
+)
+
+// Node is one value of the parsed tree. Keys and primitive bodies alias
+// the input buffer (RapidJSON's in-situ mode), so the tree's own memory
+// is the node and slice headers — still proportional to the input.
+type Node struct {
+	Kind     Kind
+	Span     [2]int   // byte range of the value in the input
+	Keys     [][]byte // object: raw key per child
+	Children []*Node  // object/array
+}
+
+// Parser parses a buffer into a DOM.
+type Parser struct {
+	data []byte
+	pos  int
+}
+
+// Parse builds the DOM for a single JSON record.
+func Parse(data []byte) (*Node, error) {
+	p := &Parser{data: data}
+	p.skipWS()
+	if p.pos >= len(data) {
+		return nil, fmt.Errorf("domparser: empty input")
+	}
+	n, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *Parser) skipWS() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *Parser) value() (*Node, error) {
+	switch p.data[p.pos] {
+	case '{':
+		return p.object()
+	case '[':
+		return p.array()
+	case '"':
+		start := p.pos
+		if err := p.skipString(); err != nil {
+			return nil, err
+		}
+		return &Node{Kind: KindString, Span: [2]int{start, p.pos}}, nil
+	default:
+		return p.primitive()
+	}
+}
+
+func (p *Parser) object() (*Node, error) {
+	n := &Node{Kind: KindObject}
+	start := p.pos
+	p.pos++ // '{'
+	for {
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			return nil, fmt.Errorf("domparser: EOF inside object")
+		}
+		switch p.data[p.pos] {
+		case '}':
+			p.pos++
+			n.Span = [2]int{start, p.pos}
+			return n, nil
+		case ',':
+			p.pos++
+			continue
+		case '"':
+		default:
+			return nil, fmt.Errorf("domparser: expected key at %d", p.pos)
+		}
+		keyStart := p.pos
+		if err := p.skipString(); err != nil {
+			return nil, err
+		}
+		key := p.data[keyStart+1 : p.pos-1]
+		p.skipWS()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return nil, fmt.Errorf("domparser: expected ':' at %d", p.pos)
+		}
+		p.pos++
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			return nil, fmt.Errorf("domparser: missing value at %d", p.pos)
+		}
+		child, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		n.Keys = append(n.Keys, key)
+		n.Children = append(n.Children, child)
+	}
+}
+
+func (p *Parser) array() (*Node, error) {
+	n := &Node{Kind: KindArray}
+	start := p.pos
+	p.pos++ // '['
+	for {
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			return nil, fmt.Errorf("domparser: EOF inside array")
+		}
+		switch p.data[p.pos] {
+		case ']':
+			p.pos++
+			n.Span = [2]int{start, p.pos}
+			return n, nil
+		case ',':
+			p.pos++
+			continue
+		}
+		child, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+}
+
+func (p *Parser) skipString() error {
+	p.pos++
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			return nil
+		default:
+			p.pos++
+		}
+	}
+	return fmt.Errorf("domparser: unterminated string")
+}
+
+func (p *Parser) primitive() (*Node, error) {
+	start := p.pos
+	kind := KindNumber
+	switch p.data[p.pos] {
+	case 't', 'f':
+		kind = KindBool
+	case 'n':
+		kind = KindNull
+	}
+loop:
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ',', '}', ']', ' ', '\t', '\n', '\r':
+			break loop
+		default:
+			p.pos++
+		}
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("domparser: empty value at %d", start)
+	}
+	return &Node{Kind: kind, Span: [2]int{start, p.pos}}, nil
+}
+
+// Evaluator is a compiled query evaluated by parse-then-traverse.
+type Evaluator struct {
+	steps []jsonpath.Step
+}
+
+// New compiles the evaluator for a path.
+func New(p *jsonpath.Path) *Evaluator { return &Evaluator{steps: p.Steps} }
+
+// Compile parses and compiles in one step.
+func Compile(expr string) (*Evaluator, error) {
+	p, err := jsonpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return New(p), nil
+}
+
+// Run parses data into a DOM and traverses it, invoking emit (which may
+// be nil) per match; it returns the match count.
+func (ev *Evaluator) Run(data []byte, emit func(start, end int)) (int64, error) {
+	root, err := Parse(data)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	var walk func(n *Node, q int)
+	walk = func(n *Node, q int) {
+		if q == len(ev.steps) {
+			count++
+			if emit != nil {
+				emit(n.Span[0], n.Span[1])
+			}
+			return
+		}
+		st := ev.steps[q]
+		switch st.Kind {
+		case jsonpath.Child:
+			if n.Kind != KindObject {
+				return
+			}
+			for i, k := range n.Keys {
+				if string(k) == st.Name {
+					walk(n.Children[i], q+1)
+					return // keys are unique
+				}
+			}
+		case jsonpath.AnyChild:
+			if n.Kind != KindObject {
+				return
+			}
+			for _, c := range n.Children {
+				walk(c, q+1)
+			}
+		default:
+			if n.Kind != KindArray {
+				return
+			}
+			for i, c := range n.Children {
+				if i >= st.Lo && i < st.Hi {
+					walk(c, q+1)
+				}
+			}
+		}
+	}
+	walk(root, 0)
+	return count, nil
+}
+
+// Count is Run without an emit callback.
+func (ev *Evaluator) Count(data []byte) (int64, error) {
+	return ev.Run(data, nil)
+}
+
+// FootprintBytes estimates the heap the parse tree pins beyond the input
+// buffer, for the memory-overhead experiment (Figure 13): one Node plus
+// slice headers per value, key headers per member.
+func (n *Node) FootprintBytes() int64 {
+	const nodeSize = 8 + 16 + 24 + 24 + 8 // kind+span, keys hdr, children hdr, pointer
+	total := int64(nodeSize)
+	total += int64(len(n.Keys)) * 24
+	total += int64(len(n.Children)) * 8
+	for _, c := range n.Children {
+		total += c.FootprintBytes()
+	}
+	return total
+}

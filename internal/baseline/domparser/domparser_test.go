@@ -1,0 +1,90 @@
+package domparser
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTree(t *testing.T) {
+	root, err := Parse([]byte(`{"a": [1, "two", {"b": null}], "c": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != KindObject || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	if string(root.Keys[0]) != "a" || string(root.Keys[1]) != "c" {
+		t.Fatalf("keys = %q", root.Keys)
+	}
+	arr := root.Children[0]
+	if arr.Kind != KindArray || len(arr.Children) != 3 {
+		t.Fatalf("arr = %+v", arr)
+	}
+	if arr.Children[0].Kind != KindNumber ||
+		arr.Children[1].Kind != KindString ||
+		arr.Children[2].Kind != KindObject {
+		t.Fatalf("element kinds wrong: %+v", arr.Children)
+	}
+	if root.Children[1].Kind != KindBool {
+		t.Fatalf("c kind = %v", root.Children[1].Kind)
+	}
+	inner := arr.Children[2]
+	if inner.Children[0].Kind != KindNull {
+		t.Fatalf("b kind = %v", inner.Children[0].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{``, `   `, `{`, `[1,`, `{"a"}`, `{"a":}`, `{"a": "x`, `{1:2}`}
+	for _, in := range bad {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	data := `{"a": 1, "b": {"c": [10, 20, 30]}, "e": [{"f": 5}, {"f": 6}]}`
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{"$.a", []string{"1"}},
+		{"$.b.c[0:2]", []string{"10", "20"}},
+		{"$.e[*].f", []string{"5", "6"}},
+		{"$", []string{data}},
+		{"$.missing", nil},
+		{"$.a[0]", nil},
+	}
+	for _, c := range cases {
+		ev, err := Compile(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if _, err := ev.Run([]byte(data), func(s, e int) { got = append(got, data[s:e]) }); err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %q want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	ev, _ := Compile("$[*]")
+	n, err := ev.Count([]byte(`[1,2,3,{"x":[4]}]`))
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestSpanIncludesWholeValue(t *testing.T) {
+	data := `{"a":  {"nested": [1, 2]}  }`
+	ev, _ := Compile("$.a")
+	var got string
+	ev.Run([]byte(data), func(s, e int) { got = data[s:e] })
+	if got != `{"nested": [1, 2]}` {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,204 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuildLeveledBitmaps(t *testing.T) {
+	data := []byte(`{"a": {"b": 1, "c": [2, 3]}, "d": 4}`)
+	ix, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(bm []uint64) int {
+		n := 0
+		bitsInRange(bm, 0, len(data), func(int) bool { n++; return true })
+		return n
+	}
+	// level 0: colons of "a" and "d"; one comma between them
+	if got := count(ix.colons[0]); got != 2 {
+		t.Errorf("level-0 colons = %d, want 2", got)
+	}
+	if got := count(ix.commas[0]); got != 1 {
+		t.Errorf("level-0 commas = %d, want 1", got)
+	}
+	// level 1: colons of "b" and "c"; one comma
+	if got := count(ix.colons[1]); got != 2 {
+		t.Errorf("level-1 colons = %d, want 2", got)
+	}
+	// level 2: the comma inside [2, 3]
+	if got := count(ix.commas[2]); got != 1 {
+		t.Errorf("level-2 commas = %d, want 1", got)
+	}
+	if ix.FootprintBytes() <= 0 || ix.Levels() != 3 {
+		t.Error("metadata accessors broken")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	data := `{"a": 1, "b": {"c": [10, 20, 30]}, "e": [{"f": 5}, {"f": 6}]}`
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{"$.a", []string{"1"}},
+		{"$.b.c[1]", []string{"20"}},
+		{"$.b.c[0:2]", []string{"10", "20"}},
+		{"$.b.c[*]", []string{"10", "20", "30"}},
+		{"$.e[*].f", []string{"5", "6"}},
+		{"$.e[1]", []string{`{"f": 6}`}},
+		{"$", []string{data}},
+		{"$.zzz", nil},
+		{"$.a.b", nil},
+	}
+	for _, c := range cases {
+		ev, err := Compile(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if _, err := ev.Run([]byte(data), func(s, e int) { got = append(got, data[s:e]) }); err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %q want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestStringsWithMetachars(t *testing.T) {
+	data := `{"fake:,{}": "a,b:c", "real": {"x": "}]"}}`
+	ev, _ := Compile("$.real.x")
+	var got []string
+	if _, err := ev.Run([]byte(data), func(s, e int) { got = append(got, data[s:e]) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{`"}]"`}) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEscapedKeyBefore(t *testing.T) {
+	data := []byte(`{"say \"hi\"": 1}`)
+	ix, err := Build(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key []byte
+	bitsInRange(ix.colons[0], 0, len(data), func(p int) bool {
+		key = keyBefore(data, p)
+		return false
+	})
+	if string(key) != `say \"hi\"` {
+		t.Fatalf("key = %q", key)
+	}
+}
+
+func TestUnbalancedInput(t *testing.T) {
+	if _, err := Build([]byte(`{"a": [1, 2}`), 2); err == nil {
+		// The brace/bracket mix is not distinguished by depth counting,
+		// but a missing closer must be.
+		t.Log("mixed closers pass depth counting (documented limitation)")
+	}
+	if _, err := Build([]byte(`{"a": 1`), 1); err == nil {
+		t.Fatal("missing closer should fail")
+	}
+	if _, err := Build([]byte(`{"a": 1}}`), 1); err == nil {
+		t.Fatal("extra closer should fail")
+	}
+}
+
+func genDoc(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"meta": {"k": "v"}, "items": [`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id": %d, "tags": ["a,b", "c]d"], "price": {"v": %d}}`, i, i*3)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	data := []byte(genDoc(300))
+	for _, workers := range []int{2, 4, 8} {
+		serial, err := Build(data, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelBuild(data, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < 4; l++ {
+			if !reflect.DeepEqual(serial.colons[l], par.colons[l]) {
+				t.Fatalf("workers %d: level %d colons differ", workers, l)
+			}
+			if !reflect.DeepEqual(serial.commas[l], par.commas[l]) {
+				t.Fatalf("workers %d: level %d commas differ", workers, l)
+			}
+		}
+	}
+}
+
+func TestParallelBuildWithEscapesAtBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	sb.WriteString(`[`)
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"s": "%s%s", "id": %d}`,
+			strings.Repeat(`\\`, rng.Intn(8)), strings.Repeat(`\"`, rng.Intn(5)), i)
+	}
+	sb.WriteString(`]`)
+	data := []byte(sb.String())
+	serial, err := Build(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelBuild(data, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 2; l++ {
+		if !reflect.DeepEqual(serial.colons[l], par.colons[l]) ||
+			!reflect.DeepEqual(serial.commas[l], par.commas[l]) {
+			t.Fatalf("level %d bitmaps differ", l)
+		}
+	}
+}
+
+func TestParallelRunQueries(t *testing.T) {
+	data := []byte(genDoc(500))
+	ev, _ := Compile("$.items[*].price.v")
+	serialN, err := ev.Count(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ParallelBuild(data, ev.Levels(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parN, err := ev.RunIndex(ix, nil)
+	if err != nil || parN != serialN {
+		t.Fatalf("par %d serial %d err %v", parN, serialN, err)
+	}
+	if serialN != 500 {
+		t.Fatalf("expected 500 matches, got %d", serialN)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	ev, _ := Compile("$.a")
+	if _, err := ev.Run([]byte("   "), nil); err == nil {
+		t.Fatal("expected error for blank input")
+	}
+}

@@ -1,0 +1,129 @@
+package tape
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuildIndexPositions(t *testing.T) {
+	data := []byte(`{"a": [1, "x,y"], "b:c": 2}`)
+	idx := BuildIndex(data)
+	var got []byte
+	for _, p := range idx {
+		got = append(got, data[p])
+	}
+	// structural chars plus quote pairs; the comma and colon inside
+	// strings are masked, the quotes themselves are indexed.
+	want := `{"":[,""],"":}`
+	if string(got) != want {
+		t.Fatalf("indexed chars %q, want %q", got, want)
+	}
+}
+
+func TestBuildTapeShape(t *testing.T) {
+	data := []byte(`{"a": [1, {"b": 2}], "c": "str"}`)
+	tp, err := Preprocess(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Nodes[0].Kind != KindObject {
+		t.Fatalf("root kind = %v", tp.Nodes[0].Kind)
+	}
+	if tp.Nodes[0].Next != int32(len(tp.Nodes)) {
+		t.Fatalf("root Next = %d, nodes = %d", tp.Nodes[0].Next, len(tp.Nodes))
+	}
+	// nodes: obj, a(array), 1, obj, 2, "str"(c)
+	if len(tp.Nodes) != 6 {
+		t.Fatalf("node count = %d: %+v", len(tp.Nodes), tp.Nodes)
+	}
+	if tp.FootprintBytes() <= 0 {
+		t.Fatal("footprint should be positive")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	data := `{"a": 1, "b": {"c": [10, 20, 30]}, "e": [{"f": 5}, {"f": 6}]}`
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{"$.a", []string{"1"}},
+		{"$.b.c[1]", []string{"20"}},
+		{"$.b.c[*]", []string{"10", "20", "30"}},
+		{"$.e[*].f", []string{"5", "6"}},
+		{"$.e[1]", []string{`{"f": 6}`}},
+		{"$", []string{data}},
+		{"$.zzz", nil},
+	}
+	for _, c := range cases {
+		ev, err := Compile(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if _, err := ev.Run([]byte(data), func(s, e int) { got = append(got, data[s:e]) }); err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %q want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPrimitiveElements(t *testing.T) {
+	data := `[1, true, null, "s", 2.5]`
+	ev, _ := Compile("$[*]")
+	var got []string
+	ev.Run([]byte(data), func(s, e int) { got = append(got, data[s:e]) })
+	want := []string{"1", "true", "null", `"s"`, "2.5"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBarePrimitiveRecord(t *testing.T) {
+	ev, _ := Compile("$")
+	var got string
+	data := "  42  "
+	if _, err := ev.Run([]byte(data), func(s, e int) { got = data[s:e] }); err != nil {
+		t.Fatal(err)
+	}
+	if got != "42" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStringsAcrossWords(t *testing.T) {
+	long := strings.Repeat("x,{}[]:", 40)
+	data := `{"k": "` + long + `", "v": 7}`
+	ev, _ := Compile("$.v")
+	n, err := ev.Count([]byte(data))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	ev, _ := Compile("$.a")
+	for _, in := range []string{``, `   `, `{"a": `, `{"a"`, `[1, 2`, `{"a" 1}`} {
+		if _, err := ev.Run([]byte(in), nil); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestRunTapeReuse(t *testing.T) {
+	data := []byte(`{"a": 1, "b": 2}`)
+	tp, err := Preprocess(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"$.a", "$.b"} {
+		ev, _ := Compile(q)
+		n, err := ev.RunTape(tp, nil)
+		if err != nil || n != 1 {
+			t.Fatalf("%s: n=%d err=%v", q, n, err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package bits
+
+import (
+	stdbits "math/bits"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refEqMask is the scalar oracle for EqMask.
+func refEqMask(b []byte, c byte) uint64 {
+	var m uint64
+	for i := 0; i < len(b) && i < WordSize; i++ {
+		if b[i] == c {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+func TestEqMaskSimple(t *testing.T) {
+	in := []byte(`{"a":1,"b":[2,3],"c":{"d":"x,y"}}`)
+	var blk Block
+	blk.Load(in)
+	for _, c := range []byte{'{', '}', '[', ']', ':', ',', '"', '\\', 'a', 'x'} {
+		got := blk.EqMask(c)
+		want := refEqMask(in, c)
+		if got != want {
+			t.Errorf("EqMask(%q) = %064b, want %064b", c, got, want)
+		}
+	}
+}
+
+func TestEqMaskShortBlock(t *testing.T) {
+	in := []byte(`{}`)
+	var blk Block
+	blk.Load(in)
+	if got := blk.EqMask('{'); got != 1 {
+		t.Errorf("EqMask('{') = %b, want 1", got)
+	}
+	if got := blk.EqMask('}'); got != 2 {
+		t.Errorf("EqMask('}') = %b, want 2", got)
+	}
+	// zero padding must not match NUL-adjacent characters
+	if got := blk.EqMask(0x01); got != 0 {
+		t.Errorf("EqMask(0x01) on padded block = %b, want 0", got)
+	}
+}
+
+func TestEqMaskQuick(t *testing.T) {
+	f := func(data []byte, c byte) bool {
+		if len(data) > WordSize {
+			data = data[:WordSize]
+		}
+		var blk Block
+		blk.Load(data)
+		m := blk.EqMask(c)
+		if c == 0 {
+			// padding bytes legitimately match NUL; compare only the
+			// in-range prefix.
+			keep := uint64(1)<<uint(len(data)) - 1
+			if len(data) == WordSize {
+				keep = ^uint64(0)
+			}
+			return m&keep == refEqMask(data, c)
+		}
+		return m == refEqMask(data, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLtMask(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > WordSize {
+			data = data[:WordSize]
+		}
+		var blk Block
+		blk.Load(data)
+		got := blk.LtMask(0x20)
+		var want uint64
+		for i, b := range data {
+			if b < 0x20 {
+				want |= 1 << uint(i)
+			}
+		}
+		// padding NULs are < 0x20; only compare in-range bits
+		keep := ^uint64(0)
+		if len(data) < WordSize {
+			keep = uint64(1)<<uint(len(data)) - 1
+		}
+		return got&keep == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhitespaceMask(t *testing.T) {
+	in := []byte("a b\tc\nd\re ")
+	var blk Block
+	blk.Load(in)
+	got := blk.WhitespaceMask()
+	var want uint64
+	for i, b := range in {
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			want |= 1 << uint(i)
+		}
+	}
+	if got&(uint64(1)<<uint(len(in))-1) != want {
+		t.Errorf("WhitespaceMask = %b, want %b", got, want)
+	}
+}
+
+func TestPrefixXor(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, ^uint64(0)},
+		{0b1010, 0b0110},           // quotes at 1 and 3 -> in-string bits 1..2
+		{1 << 63, 1 << 63},         // quote at last byte opens a string
+		{0b100010, 0b0111100 >> 1}, // quotes at 1 and 5 -> bits 1..4
+	}
+	for _, c := range cases {
+		if got := PrefixXor(c.in); got != c.want {
+			t.Errorf("PrefixXor(%b) = %b, want %b", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixXorQuick(t *testing.T) {
+	f := func(x uint64) bool {
+		got := PrefixXor(x)
+		var acc uint64
+		var want uint64
+		for i := uint(0); i < 64; i++ {
+			acc ^= (x >> i) & 1
+			want |= acc << i
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refEscaped computes, byte by byte, which characters of the whole input
+// are escaped by a backslash.
+func refEscaped(in []byte) []bool {
+	esc := make([]bool, len(in))
+	for i := 0; i < len(in); i++ {
+		if in[i] == '\\' && !esc[i] && i+1 < len(in) {
+			esc[i+1] = true
+		}
+	}
+	return esc
+}
+
+func TestEscapeCarryAgainstScalar(t *testing.T) {
+	inputs := []string{
+		`"a\"b"`,
+		`"\\"`,
+		`"\\\""`,
+		`"ends with backslash\\`,
+		strings.Repeat(`\`, 64),
+		strings.Repeat(`\`, 63) + `"`,
+		strings.Repeat(`\`, 65) + `"x`,
+		`plain text without escapes at all, longer than one word maybe..`,
+		`"é\\n\\t` + strings.Repeat(`\`, 7) + `"tail`,
+	}
+	for _, s := range inputs {
+		in := []byte(s)
+		want := refEscaped(in)
+		var ec EscapeCarry
+		for off := 0; off < len(in); off += WordSize {
+			end := off + WordSize
+			if end > len(in) {
+				end = len(in)
+			}
+			var blk Block
+			blk.Load(in[off:end])
+			got := ec.Escaped(blk.EqMask('\\'))
+			for i := off; i < end; i++ {
+				g := got&(1<<uint(i-off)) != 0
+				if g != want[i] {
+					t.Fatalf("input %q: escaped[%d] = %v, want %v", s, i, g, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEscapeCarryRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		in := make([]byte, n)
+		for i := range in {
+			if rng.Intn(3) == 0 {
+				in[i] = '\\'
+			} else {
+				in[i] = 'a'
+			}
+		}
+		want := refEscaped(in)
+		var ec EscapeCarry
+		for off := 0; off < len(in); off += WordSize {
+			end := off + WordSize
+			if end > len(in) {
+				end = len(in)
+			}
+			var blk Block
+			blk.Load(in[off:end])
+			got := ec.Escaped(blk.EqMask('\\'))
+			for i := off; i < end; i++ {
+				g := got&(1<<uint(i-off)) != 0
+				if g != want[i] {
+					t.Fatalf("trial %d input %q: escaped[%d]=%v want %v", trial, in, i, g, want[i])
+				}
+			}
+		}
+	}
+}
+
+// refInString reports, for the whole input, whether each byte is inside a
+// string (opening quote inclusive, closing quote exclusive), ignoring
+// escaped quotes.
+func refInString(in []byte) []bool {
+	esc := refEscaped(in)
+	inStr := make([]bool, len(in))
+	open := false
+	for i := range in {
+		if in[i] == '"' && !esc[i] {
+			open = !open
+			inStr[i] = open // opening quote flagged, closing not
+			continue
+		}
+		inStr[i] = open
+	}
+	return inStr
+}
+
+func TestStringCarryRandomJSONish(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte(`ab{}[]:,"\ `)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(500)
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := refInString(in)
+		var ec EscapeCarry
+		var sc StringCarry
+		for off := 0; off < len(in); off += WordSize {
+			end := off + WordSize
+			if end > len(in) {
+				end = len(in)
+			}
+			var blk Block
+			blk.Load(in[off:end])
+			escaped := ec.Escaped(blk.EqMask('\\'))
+			quotes := blk.EqMask('"') &^ escaped
+			got := sc.InStringMask(quotes)
+			for i := off; i < end; i++ {
+				g := got&(1<<uint(i-off)) != 0
+				if g != want[i] {
+					t.Fatalf("trial %d input %q: inString[%d]=%v want %v", trial, in, i, g, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectBit(t *testing.T) {
+	cases := []struct {
+		m    uint64
+		n    int
+		want int
+	}{
+		{0b1011, 1, 0},
+		{0b1011, 2, 1},
+		{0b1011, 3, 3},
+		{0b1011, 4, -1},
+		{0, 1, -1},
+		{1 << 63, 1, 63},
+		{^uint64(0), 64, 63},
+		{^uint64(0), 65, -1},
+		{0b1011, 0, -1},
+		{0b1011, -2, -1},
+	}
+	for _, c := range cases {
+		if got := SelectBit(c.m, c.n); got != c.want {
+			t.Errorf("SelectBit(%b, %d) = %d, want %d", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSelectBitQuick(t *testing.T) {
+	f := func(m uint64, n uint8) bool {
+		k := int(n%66) + 1
+		got := SelectBit(m, k)
+		// scalar oracle
+		cnt := 0
+		for i := 0; i < 64; i++ {
+			if m&(1<<uint(i)) != 0 {
+				cnt++
+				if cnt == k {
+					return got == i
+				}
+			}
+		}
+		return got == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearBelow(t *testing.T) {
+	if got := ClearBelow(^uint64(0), 0); got != ^uint64(0) {
+		t.Errorf("ClearBelow(all,0) = %x", got)
+	}
+	if got := ClearBelow(^uint64(0), 64); got != 0 {
+		t.Errorf("ClearBelow(all,64) = %x", got)
+	}
+	if got := ClearBelow(0b1111, 2); got != 0b1100 {
+		t.Errorf("ClearBelow(1111,2) = %b", got)
+	}
+}
+
+func TestMovemaskKnown(t *testing.T) {
+	// byte 0 and byte 7 equal to 'x'
+	var blk Block
+	in := []byte("xabcdefx")
+	blk.Load(in)
+	if got := blk.EqMask('x'); got != 0b10000001 {
+		t.Errorf("EqMask = %b, want 10000001", got)
+	}
+}
+
+func TestOnesCountTrailingZeros(t *testing.T) {
+	if OnesCount(0b1011) != 3 || TrailingZeros(0b1000) != 3 {
+		t.Fatal("re-exported helpers disagree with math/bits")
+	}
+	if TrailingZeros(0) != stdbits.TrailingZeros64(0) {
+		t.Fatal("TrailingZeros(0) mismatch")
+	}
+}
+
+func TestEqMask2MatchesSingles(t *testing.T) {
+	f := func(data []byte, a, b byte) bool {
+		if len(data) > WordSize {
+			data = data[:WordSize]
+		}
+		var blk Block
+		blk.Load(data)
+		ma, mb := blk.EqMask2(a, b)
+		return ma == blk.EqMask(a) && mb == blk.EqMask(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqMask3OrMatchesUnion(t *testing.T) {
+	f := func(data []byte, a, b, c byte) bool {
+		if len(data) > WordSize {
+			data = data[:WordSize]
+		}
+		var blk Block
+		blk.Load(data)
+		return blk.EqMask3Or(a, b, c) == blk.EqMask(a)|blk.EqMask(b)|blk.EqMask(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteAndBackslashMasks(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > WordSize {
+			data = data[:WordSize]
+		}
+		var blk Block
+		blk.Load(data)
+		q, bs := blk.QuoteAndBackslashMasks()
+		return q == blk.EqMask('"') && bs == blk.EqMask('\\')
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// explicitly cover both the backslash-present and absent paths
+	var blk Block
+	blk.Load([]byte(`no backslashes here "just quotes"`))
+	q, bs := blk.QuoteAndBackslashMasks()
+	if bs != 0 || OnesCount(q) != 2 {
+		t.Fatalf("q=%b bs=%b", q, bs)
+	}
+	blk.Load([]byte(`with \" escape`))
+	if _, bs := blk.QuoteAndBackslashMasks(); OnesCount(bs) != 1 {
+		t.Fatal("backslash not detected")
+	}
+}
+
+func TestCarriesReset(t *testing.T) {
+	var ec EscapeCarry
+	ec.Escaped(1 << 63) // leaves carry set
+	ec.Reset()
+	if got := ec.Escaped(0); got != 0 {
+		t.Fatalf("escape carry survived Reset: %b", got)
+	}
+	var sc StringCarry
+	sc.InStringMask(1) // open a string
+	sc.Reset()
+	if got := sc.InStringMask(0); got != 0 {
+		t.Fatalf("string carry survived Reset: %b", got)
+	}
+}

@@ -1,0 +1,334 @@
+// Package core implements JSONSki's recursive-descent streaming engine
+// (paper §3, Algorithms 1 and 2): a recursive-descent parser over the
+// bit-parallel stream that drives the query automaton and invokes the
+// five groups of fast-forward functions wherever the match state proves a
+// substructure irrelevant.
+//
+// The engine's recursion *is* the automaton's stack (paper §3.1): each
+// object()/array() frame holds the automaton state for its nesting level,
+// so the [Key]/[Val]/[Ary-S]/[Ary-E] push/pop rules reduce to function
+// call and return.
+package core
+
+import (
+	"fmt"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/fastforward"
+	"jsonski/internal/jsonpath"
+	"jsonski/internal/stream"
+)
+
+// EmitFunc receives each match as a half-open byte range of the input.
+// The engine guarantees Start < End and that data[Start:End] is the
+// matched value with surrounding whitespace trimmed.
+type EmitFunc func(start, end int)
+
+// Stats summarizes one engine run.
+type Stats struct {
+	Matches        int64
+	InputBytes     int64
+	Skipped        fastforward.Stats
+	WordsProcessed int
+}
+
+// FastForwardRatio returns the overall ratio of fast-forwarded bytes
+// (paper Table 6, "Overall").
+func (st Stats) FastForwardRatio() float64 {
+	if st.InputBytes == 0 {
+		return 0
+	}
+	return float64(st.Skipped.TotalSkipped()) / float64(st.InputBytes)
+}
+
+// GroupRatios returns the per-group fast-forward ratios.
+func (st Stats) GroupRatios() [fastforward.NumGroups]float64 {
+	per, _ := st.Skipped.Ratio(st.InputBytes)
+	return per
+}
+
+// Engine evaluates one compiled query over byte buffers. An Engine is
+// reusable but not safe for concurrent use; create one per goroutine.
+type Engine struct {
+	aut       *automaton.Automaton
+	s         *stream.Stream
+	ff        *fastforward.FF
+	emit      EmitFunc
+	emitCount *int64
+
+	// DisableFastForward switches the engine to plain recursive-descent
+	// streaming (paper Algorithm 1): every token is parsed and fed to the
+	// automaton. Used by the ablation benchmarks.
+	DisableFastForward bool
+
+	// DisabledGroups selectively turns off individual fast-forward
+	// groups (bit g-1 disables Gg) for the per-group ablation that
+	// mirrors Table 6's uneven-contribution analysis:
+	//   - G1 disabled: every attribute/element is examined regardless
+	//     of the type the query expects;
+	//   - G4 disabled: object scanning continues after a match instead
+	//     of jumping to the object end;
+	//   - G5 disabled: out-of-range array elements are skipped one by
+	//     one instead of en bloc.
+	// G2/G3 skips are load-bearing for the engine's position tracking
+	// and cannot be disabled independently; use DisableFastForward for
+	// the all-off ablation.
+	DisabledGroups uint8
+}
+
+// groupOn reports whether fast-forward group g (1-based) is enabled.
+func (e *Engine) groupOn(g int) bool {
+	return e.DisabledGroups&(1<<(g-1)) == 0
+}
+
+// NewEngine creates an engine for the automaton.
+func NewEngine(a *automaton.Automaton) *Engine {
+	return &Engine{aut: a}
+}
+
+// Run evaluates the query over a single JSON record, invoking emit for
+// every match.
+func (e *Engine) Run(data []byte, emit EmitFunc) (Stats, error) {
+	if e.s == nil {
+		e.s = stream.New(data)
+		e.ff = fastforward.New(e.s)
+	} else {
+		e.s.Reset(data)
+		e.ff.Reset(e.s)
+	}
+	e.emit = emit
+	var matches int64
+	e.emitCount = &matches
+
+	err := e.run()
+	st := Stats{
+		Matches:        matches,
+		InputBytes:     int64(len(data)),
+		Skipped:        e.ff.Stats,
+		WordsProcessed: e.s.WordsProcessed,
+	}
+	return st, err
+}
+
+func (e *Engine) emitSpan(start, end int) {
+	*e.emitCount++
+	if e.emit != nil {
+		e.emit(start, end)
+	}
+}
+
+func (e *Engine) run() error {
+	s := e.s
+	b, ok := s.SkipWS()
+	if !ok {
+		return fmt.Errorf("core: empty input")
+	}
+	if e.aut.StepCount() == 0 {
+		// Bare "$": the whole record matches.
+		start := s.Pos()
+		switch b {
+		case '{':
+			if err := e.ff.GoOverObj(fastforward.G3); err != nil {
+				return err
+			}
+		case '[':
+			if err := e.ff.GoOverAry(fastforward.G3); err != nil {
+				return err
+			}
+		default:
+			s.SkipPrimitive()
+		}
+		e.emitSpan(start, s.Pos())
+		return nil
+	}
+	if e.DisableFastForward {
+		return e.runFull(b)
+	}
+	switch b {
+	case '{':
+		if e.aut.RootType() == jsonpath.Array {
+			return nil // record type cannot match the query
+		}
+		return e.object(0)
+	case '[':
+		if e.aut.RootType() == jsonpath.Object {
+			return nil
+		}
+		return e.array(0)
+	default:
+		return nil // primitive record cannot match a multi-step query
+	}
+}
+
+// object evaluates the object whose '{' is under the cursor against
+// automaton state q (Algorithm 2). On return the cursor is just past the
+// matching '}'.
+func (e *Engine) object(q int) error {
+	s := e.s
+	s.Advance(1) // consume '{'
+	if !e.aut.IsObjectState(q) {
+		// The pending step is an array step: nothing inside this object
+		// can match. (Callers filter on type, so this only happens for
+		// Unknown-typed values.)
+		return e.ff.GoToObjEnd()
+	}
+	expected := e.aut.TypeExpected(q)
+	if !e.groupOn(1) {
+		expected = jsonpath.Unknown // G1 ablation: no type filtering
+	}
+	anyChild := e.aut.Step(q).Kind == jsonpath.AnyChild
+	for {
+		r, err := e.ff.NextAttr(expected)
+		if err != nil {
+			return err
+		}
+		if r.End {
+			return nil
+		}
+		q2, status := e.aut.MatchKey(q, r.Name)
+		switch status {
+		case automaton.Unmatched:
+			if err := e.skipValue(r.VType, fastforward.G2, false); err != nil {
+				return err
+			}
+		case automaton.Accept:
+			if err := e.outputValue(r.VType, false); err != nil {
+				return err
+			}
+		default: // Matched: descend into the value
+			if err := e.descend(r.VType, q2, false); err != nil {
+				return err
+			}
+		}
+		if status != automaton.Unmatched && !anyChild && e.groupOn(4) {
+			// G4: attribute names are unique, so no further attribute
+			// of this object can match.
+			return e.ff.GoToObjEnd()
+		}
+	}
+}
+
+// array evaluates the array whose '[' is under the cursor against state q.
+func (e *Engine) array(q int) error {
+	s := e.s
+	s.Advance(1) // consume '['
+	if !e.aut.IsArrayState(q) {
+		return e.ff.GoToAryEnd()
+	}
+	lo, hi, constrained := e.aut.Range(q)
+	expected := e.aut.TypeExpected(q)
+	if !e.groupOn(1) {
+		expected = jsonpath.Unknown
+	}
+	idx := 0
+	if constrained && lo > 0 && e.groupOn(5) {
+		// G5: fast-forward over the elements before the range.
+		_, ended, err := e.ff.GoOverElems(lo)
+		if err != nil {
+			return err
+		}
+		if ended {
+			return nil // array ended before the range began
+		}
+		idx = lo
+	}
+	for {
+		if constrained && idx >= hi && e.groupOn(5) {
+			// G5: everything after the range is irrelevant.
+			return e.ff.GoToAryEnd()
+		}
+		r, err := e.ff.NextElem(expected, idx)
+		if err != nil {
+			return err
+		}
+		if r.End {
+			return nil
+		}
+		idx = r.Index
+		if constrained && idx >= hi && e.groupOn(5) {
+			return e.ff.GoToAryEnd()
+		}
+		q2, status := e.aut.MatchIndex(q, idx)
+		switch status {
+		case automaton.Unmatched:
+			// Out-of-range element (G5 semantics).
+			if err := e.skipValue(r.VType, fastforward.G5, true); err != nil {
+				return err
+			}
+		case automaton.Accept:
+			if err := e.outputValue(r.VType, true); err != nil {
+				return err
+			}
+		default: // Matched
+			if err := e.descend(r.VType, q2, true); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// skipValue fast-forwards over the value under the cursor (G2/G5).
+// inArray selects the primitive terminator set: ','/']' for array
+// elements, ','/'}' for attribute values.
+func (e *Engine) skipValue(vt jsonpath.ValueType, g fastforward.Group, inArray bool) error {
+	switch vt {
+	case jsonpath.Object:
+		return e.ff.GoOverObj(g)
+	case jsonpath.Array:
+		return e.ff.GoOverAry(g)
+	default:
+		var err error
+		if inArray {
+			_, err = e.ff.GoOverPriElem(g)
+		} else {
+			_, err = e.ff.GoOverPriAttr(g)
+		}
+		return err
+	}
+}
+
+// outputValue fast-forwards over the accepted value and emits it (G3).
+func (e *Engine) outputValue(vt jsonpath.ValueType, inArray bool) error {
+	switch vt {
+	case jsonpath.Object:
+		sp, err := e.ff.GoOverObjOut()
+		if err != nil {
+			return err
+		}
+		e.emitSpan(sp.Start, sp.End)
+	case jsonpath.Array:
+		sp, err := e.ff.GoOverAryOut()
+		if err != nil {
+			return err
+		}
+		e.emitSpan(sp.Start, sp.End)
+	default:
+		var (
+			sp  fastforward.Span
+			err error
+		)
+		if inArray {
+			sp, _, err = e.ff.GoOverPriElemOut()
+		} else {
+			sp, _, err = e.ff.GoOverPriAttrOut()
+		}
+		if err != nil {
+			return err
+		}
+		e.emitSpan(sp.Start, sp.End)
+	}
+	return nil
+}
+
+// descend recurses into a Matched value. A primitive value with steps
+// still pending is a dead end and is skipped (G2).
+func (e *Engine) descend(vt jsonpath.ValueType, q2 int, inArray bool) error {
+	switch vt {
+	case jsonpath.Object:
+		return e.object(q2)
+	case jsonpath.Array:
+		return e.array(q2)
+	default:
+		return e.skipValue(vt, fastforward.G2, inArray)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"jsonski/internal/automaton"
+)
+
+// This file implements plain recursive-descent streaming (paper
+// Algorithm 1): every token is recognized and fed to the query automaton,
+// with no fast-forwarding. It exists for the ablation benchmarks
+// (DisableFastForward) and doubles as an in-package correctness oracle —
+// both paths must produce identical matches on identical input.
+
+func (e *Engine) runFull(b byte) error {
+	switch b {
+	case '{':
+		return e.fullObject(0)
+	case '[':
+		return e.fullArray(0)
+	default:
+		// A primitive record cannot match a multi-step query.
+		e.skipFullPrimitive()
+		return nil
+	}
+}
+
+// deadState is an automaton state from which no key or index matches;
+// descending with it parses a subtree in detail while matching nothing.
+func (e *Engine) deadState() int { return e.aut.StepCount() + 1 }
+
+// fullObject parses the object under the cursor token by token, applying
+// the [Key]/[Val] rules at each attribute.
+func (e *Engine) fullObject(q int) error {
+	s := e.s
+	s.Advance(1) // consume '{'
+	for {
+		b, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("core: EOF inside object")
+		}
+		switch b {
+		case '}':
+			s.Advance(1)
+			return nil
+		case ',':
+			s.Advance(1)
+			continue
+		case '"':
+		default:
+			return fmt.Errorf("core: expected attribute name at %d, got %q", s.Pos(), b)
+		}
+		name, err := s.ReadString()
+		if err != nil {
+			return err
+		}
+		if err := s.Expect(':'); err != nil {
+			return err
+		}
+		vb, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("core: attribute without value at %d", s.Pos())
+		}
+		q2, status := e.aut.MatchKey(q, name)
+		if status == automaton.Unmatched {
+			q2 = e.deadState()
+		}
+		accept := status == automaton.Accept
+		start := s.Pos()
+		if err := e.fullValue(vb, q2); err != nil {
+			return err
+		}
+		if accept {
+			e.emitSpan(start, s.Pos())
+		}
+	}
+}
+
+// fullArray parses the array under the cursor token by token.
+func (e *Engine) fullArray(q int) error {
+	s := e.s
+	s.Advance(1) // consume '['
+	idx := 0
+	for {
+		b, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("core: EOF inside array")
+		}
+		switch b {
+		case ']':
+			s.Advance(1)
+			return nil
+		case ',':
+			s.Advance(1)
+			idx++
+			continue
+		}
+		q2, status := e.aut.MatchIndex(q, idx)
+		if status == automaton.Unmatched {
+			q2 = e.deadState()
+		}
+		accept := status == automaton.Accept
+		start := s.Pos()
+		if err := e.fullValue(b, q2); err != nil {
+			return err
+		}
+		if accept {
+			e.emitSpan(start, s.Pos())
+		}
+	}
+}
+
+// fullValue parses one value of any type in detail, matching against q2.
+func (e *Engine) fullValue(b byte, q2 int) error {
+	switch b {
+	case '{':
+		return e.fullObject(q2)
+	case '[':
+		return e.fullArray(q2)
+	case '"':
+		return e.s.SkipString()
+	default:
+		e.skipFullPrimitive()
+		return nil
+	}
+}
+
+// skipFullPrimitive consumes a non-string primitive token.
+func (e *Engine) skipFullPrimitive() {
+	e.s.SkipPrimitive()
+}

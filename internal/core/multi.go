@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/fastforward"
+	"jsonski/internal/jsonpath"
+	"jsonski/internal/stream"
+)
+
+// MultiEngine evaluates several path queries in one streaming pass,
+// sharing the traversal and fast-forwarding only what *every* live query
+// agrees is irrelevant:
+//
+//   - G1 type filtering applies when all live queries expect the same
+//     container type;
+//   - G2 value skipping applies when no live query matched an attribute;
+//   - G4 object-end skipping applies once every live query has matched
+//     its (unique) attribute at this level;
+//   - G5 element-range skipping applies to the union of the live
+//     queries' index ranges.
+//
+// This realizes the paper's remark (§5.1) that developers can exploit
+// the fast-forward functions beyond single-query evaluation.
+type MultiEngine struct {
+	auts []*automaton.Automaton
+	s    *stream.Stream
+	ff   *fastforward.FF
+	emit MultiEmitFunc
+
+	matches int64
+}
+
+// MultiEmitFunc receives each match with the index of the query that
+// produced it.
+type MultiEmitFunc func(query int, start, end int)
+
+// NewMultiEngine creates an engine over the given automata.
+func NewMultiEngine(auts []*automaton.Automaton) *MultiEngine {
+	return &MultiEngine{auts: auts}
+}
+
+// states holds one automaton state per query; dead marks queries that can
+// no longer match in the current subtree.
+type states []int32
+
+const deadState = int32(-1)
+
+func (e *MultiEngine) alive(st states) bool {
+	for _, q := range st {
+		if q != deadState {
+			return true
+		}
+	}
+	return false
+}
+
+// Run evaluates all queries over one record.
+func (e *MultiEngine) Run(data []byte, emit MultiEmitFunc) (Stats, error) {
+	if e.s == nil {
+		e.s = stream.New(data)
+		e.ff = fastforward.New(e.s)
+	} else {
+		e.s.Reset(data)
+		e.ff.Reset(e.s)
+	}
+	e.emit = emit
+	e.matches = 0
+	err := e.run()
+	return Stats{
+		Matches:        e.matches,
+		InputBytes:     int64(len(data)),
+		Skipped:        e.ff.Stats,
+		WordsProcessed: e.s.WordsProcessed,
+	}, err
+}
+
+func (e *MultiEngine) emitSpan(query, start, end int) {
+	e.matches++
+	if e.emit != nil {
+		e.emit(query, start, end)
+	}
+}
+
+func (e *MultiEngine) run() error {
+	s := e.s
+	b, ok := s.SkipWS()
+	if !ok {
+		return fmt.Errorf("core: empty input")
+	}
+	st := make(states, len(e.auts))
+	anyZeroStep := false
+	for i, a := range e.auts {
+		if a.StepCount() == 0 {
+			anyZeroStep = true
+			st[i] = deadState
+			continue
+		}
+		// Kill queries whose root type contradicts the record.
+		switch {
+		case b == '{' && a.RootType() == jsonpath.Array:
+			st[i] = deadState
+		case b == '[' && a.RootType() == jsonpath.Object:
+			st[i] = deadState
+		case b != '{' && b != '[':
+			st[i] = deadState
+		}
+	}
+	if anyZeroStep {
+		// "$" queries match the whole record; handled via span capture.
+		start := s.Pos()
+		if err := e.consumeValue(b, st); err != nil {
+			return err
+		}
+		end := s.Pos()
+		for i, a := range e.auts {
+			if a.StepCount() == 0 {
+				e.emitSpan(i, start, end)
+			}
+		}
+		return nil
+	}
+	return e.consumeValue(b, st)
+}
+
+// consumeValue evaluates the value starting at the cursor against the
+// state vector, consuming it entirely.
+func (e *MultiEngine) consumeValue(b byte, st states) error {
+	switch b {
+	case '{':
+		if !e.alive(st) {
+			return e.ff.GoOverObj(fastforward.G2)
+		}
+		return e.object(st)
+	case '[':
+		if !e.alive(st) {
+			return e.ff.GoOverAry(fastforward.G2)
+		}
+		return e.array(st)
+	default:
+		// primitives cannot be descended into
+		e.s.SkipPrimitive()
+		return nil
+	}
+}
+
+// combinedExpected returns the container type every live query expects,
+// or Unknown when they disagree (or none is live).
+func (e *MultiEngine) combinedExpected(st states, wantObject bool) jsonpath.ValueType {
+	combined := jsonpath.ValueType(0xFF) // sentinel: none seen yet
+	for i, q := range st {
+		if q == deadState {
+			continue
+		}
+		a := e.auts[i]
+		if wantObject && !a.IsObjectState(int(q)) {
+			continue
+		}
+		if !wantObject && !a.IsArrayState(int(q)) {
+			continue
+		}
+		t := a.TypeExpected(int(q))
+		if combined == 0xFF {
+			combined = t
+		} else if combined != t {
+			return jsonpath.Unknown
+		}
+	}
+	if combined == 0xFF {
+		return jsonpath.Unknown
+	}
+	return combined
+}
+
+func (e *MultiEngine) object(st states) error {
+	s := e.s
+	s.Advance(1) // '{'
+	// Queries whose pending step is not a child step are dead here.
+	live := make(states, len(st))
+	nLive := 0
+	anyWildcard := false
+	for i, q := range st {
+		live[i] = deadState
+		if q == deadState || !e.auts[i].IsObjectState(int(q)) {
+			continue
+		}
+		live[i] = q
+		nLive++
+		if e.auts[i].Step(int(q)).Kind == jsonpath.AnyChild {
+			anyWildcard = true
+		}
+	}
+	if nLive == 0 {
+		return e.ff.GoToObjEnd()
+	}
+	expected := e.combinedExpected(live, true)
+	remaining := nLive // queries still hoping to match an attribute here
+	for {
+		r, err := e.ff.NextAttr(expected)
+		if err != nil {
+			return err
+		}
+		if r.End {
+			return nil
+		}
+		child := make(states, len(st))
+		anyProgress := false
+		var accepts []int
+		for i := range child {
+			child[i] = deadState
+			q := live[i]
+			if q == deadState {
+				continue
+			}
+			q2, status := e.auts[i].MatchKey(int(q), r.Name)
+			switch status {
+			case automaton.Accept:
+				accepts = append(accepts, i)
+				if e.auts[i].Step(int(q)).Kind != jsonpath.AnyChild {
+					live[i] = deadState
+					remaining--
+				}
+			case automaton.Matched:
+				child[i] = int32(q2)
+				anyProgress = true
+				if e.auts[i].Step(int(q)).Kind != jsonpath.AnyChild {
+					live[i] = deadState
+					remaining--
+				}
+			}
+		}
+		start := s.Pos()
+		switch {
+		case anyProgress:
+			// Descend in detail; spans for accepting queries come from
+			// the consumed extent.
+			if err := e.consumeValueTyped(r.VType, child, false); err != nil {
+				return err
+			}
+		case len(accepts) > 0:
+			if err := e.outputMulti(r.VType, false, accepts); err != nil {
+				return err
+			}
+			accepts = nil
+		default:
+			if err := e.skipValue(r.VType, fastforward.G2, false); err != nil {
+				return err
+			}
+		}
+		if len(accepts) > 0 {
+			end := trimWSEnd(s.Data(), start, s.Pos())
+			for _, i := range accepts {
+				e.emitSpan(i, start, end)
+			}
+		}
+		if remaining == 0 && !anyWildcard {
+			// G4 generalization: every query matched its unique
+			// attribute at this level.
+			return e.ff.GoToObjEnd()
+		}
+	}
+}
+
+func (e *MultiEngine) array(st states) error {
+	s := e.s
+	s.Advance(1) // '['
+	live := make(states, len(st))
+	nLive := 0
+	lo, hi := jsonpath.MaxIndex, 0
+	constrained := true
+	for i, q := range st {
+		live[i] = deadState
+		if q == deadState || !e.auts[i].IsArrayState(int(q)) {
+			continue
+		}
+		live[i] = q
+		nLive++
+		l, h, c := e.auts[i].Range(int(q))
+		if !c {
+			constrained = false
+		} else {
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+	}
+	if nLive == 0 {
+		return e.ff.GoToAryEnd()
+	}
+	if !constrained {
+		lo, hi = 0, jsonpath.MaxIndex
+	}
+	expected := e.combinedExpected(live, false)
+	idx := 0
+	if lo > 0 {
+		_, ended, err := e.ff.GoOverElems(lo)
+		if err != nil {
+			return err
+		}
+		if ended {
+			return nil
+		}
+		idx = lo
+	}
+	for {
+		if idx >= hi {
+			return e.ff.GoToAryEnd()
+		}
+		r, err := e.ff.NextElem(expected, idx)
+		if err != nil {
+			return err
+		}
+		if r.End {
+			return nil
+		}
+		idx = r.Index
+		if idx >= hi {
+			return e.ff.GoToAryEnd()
+		}
+		child := make(states, len(st))
+		anyProgress := false
+		var accepts []int
+		for i := range child {
+			child[i] = deadState
+			q := live[i]
+			if q == deadState {
+				continue
+			}
+			q2, status := e.auts[i].MatchIndex(int(q), idx)
+			switch status {
+			case automaton.Accept:
+				accepts = append(accepts, i)
+			case automaton.Matched:
+				child[i] = int32(q2)
+				anyProgress = true
+			}
+		}
+		start := s.Pos()
+		switch {
+		case anyProgress:
+			if err := e.consumeValueTyped(r.VType, child, true); err != nil {
+				return err
+			}
+		case len(accepts) > 0:
+			if err := e.outputMulti(r.VType, true, accepts); err != nil {
+				return err
+			}
+			accepts = nil
+		default:
+			if err := e.skipValue(r.VType, fastforward.G5, true); err != nil {
+				return err
+			}
+		}
+		if len(accepts) > 0 {
+			end := trimWSEnd(s.Data(), start, s.Pos())
+			for _, i := range accepts {
+				e.emitSpan(i, start, end)
+			}
+		}
+	}
+}
+
+// consumeValueTyped descends into a value of known type with the child
+// state vector.
+func (e *MultiEngine) consumeValueTyped(vt jsonpath.ValueType, child states, inArray bool) error {
+	switch vt {
+	case jsonpath.Object:
+		if !e.alive(child) {
+			return e.ff.GoOverObj(fastforward.G2)
+		}
+		return e.object(child)
+	case jsonpath.Array:
+		if !e.alive(child) {
+			return e.ff.GoOverAry(fastforward.G2)
+		}
+		return e.array(child)
+	default:
+		return e.skipValue(vt, fastforward.G2, inArray)
+	}
+}
+
+// outputMulti skips the value (G3) and emits it for every accepting query.
+func (e *MultiEngine) outputMulti(vt jsonpath.ValueType, inArray bool, accepts []int) error {
+	var (
+		sp  fastforward.Span
+		err error
+	)
+	switch vt {
+	case jsonpath.Object:
+		sp, err = e.ff.GoOverObjOut()
+	case jsonpath.Array:
+		sp, err = e.ff.GoOverAryOut()
+	default:
+		if inArray {
+			sp, _, err = e.ff.GoOverPriElemOut()
+		} else {
+			sp, _, err = e.ff.GoOverPriAttrOut()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, i := range accepts {
+		e.emitSpan(i, sp.Start, sp.End)
+	}
+	return nil
+}
+
+// skipValue mirrors Engine.skipValue.
+func (e *MultiEngine) skipValue(vt jsonpath.ValueType, g fastforward.Group, inArray bool) error {
+	switch vt {
+	case jsonpath.Object:
+		return e.ff.GoOverObj(g)
+	case jsonpath.Array:
+		return e.ff.GoOverAry(g)
+	default:
+		var err error
+		if inArray {
+			_, err = e.ff.GoOverPriElem(g)
+		} else {
+			_, err = e.ff.GoOverPriAttr(g)
+		}
+		return err
+	}
+}
+
+func trimWSEnd(data []byte, start, end int) int {
+	for end > start && (data[end-1] == ' ' || data[end-1] == '\t' || data[end-1] == '\n' || data[end-1] == '\r') {
+		end--
+	}
+	return end
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/bits"
+	"jsonski/internal/fastforward"
+	"jsonski/internal/jsonpath"
+	"jsonski/internal/stream"
+)
+
+// NFAEngine evaluates paths containing the descendant operator `..`
+// (the paper's stated future work, §5.1). A descendant step matches at
+// an unknown level, so the matcher is a set-of-states NFA rather than a
+// single-state DFA, and — as the paper argues — type inference and the
+// G1/G4/G5 fast-forward groups do not apply: a live descendant state can
+// match arbitrarily deep, so no subtree is provably irrelevant unless
+// the whole state set dies.
+//
+// The engine still runs on the bit-parallel stream (word-level masks for
+// tokenization), and G2-skips whole values whenever the state set going
+// into them is empty — which for paths with non-descendant prefixes
+// (e.g. $.store..price) recovers real skipping outside the prefix.
+type NFAEngine struct {
+	steps []jsonpath.Step
+	s     *stream.Stream
+	ff    *fastforward.FF
+	emit  EmitFunc
+
+	matches int64
+	depth   int
+}
+
+// maxNFADepth bounds recursion: unlike the DFA engine, whose recursion
+// depth is bounded by the query length, the NFA engine recurses per
+// nesting level of the input.
+const maxNFADepth = 10000
+
+// NewNFAEngine creates an NFA engine for the path. Paths are limited to
+// 62 steps (the state set is a uint64 bitmask).
+func NewNFAEngine(p *jsonpath.Path) (*NFAEngine, error) {
+	if len(p.Steps) > 62 {
+		return nil, fmt.Errorf("core: path too long for NFA evaluation (%d steps)", len(p.Steps))
+	}
+	return &NFAEngine{steps: p.Steps}, nil
+}
+
+// stateSet is a bitmask of NFA states; bit len(steps) is the accept bit.
+type stateSet = uint64
+
+func (e *NFAEngine) acceptBit() stateSet { return 1 << uint(len(e.steps)) }
+
+// Run evaluates the path over one record.
+func (e *NFAEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
+	if e.s == nil {
+		e.s = stream.New(data)
+		e.ff = fastforward.New(e.s)
+	} else {
+		e.s.Reset(data)
+		e.ff.Reset(e.s)
+	}
+	e.emit = emit
+	e.matches = 0
+	e.depth = 0
+	err := e.run()
+	return Stats{
+		Matches:        e.matches,
+		InputBytes:     int64(len(data)),
+		Skipped:        e.ff.Stats,
+		WordsProcessed: e.s.WordsProcessed,
+	}, err
+}
+
+func (e *NFAEngine) run() error {
+	s := e.s
+	b, ok := s.SkipWS()
+	if !ok {
+		return fmt.Errorf("core: empty input")
+	}
+	start := s.Pos()
+	set := stateSet(1) // state 0: no steps matched yet
+	if len(e.steps) == 0 {
+		set = e.acceptBit()
+	}
+	if err := e.value(b, set&^e.acceptBit()); err != nil {
+		return err
+	}
+	if set&e.acceptBit() != 0 {
+		e.emitSpan(start, s.Pos())
+	}
+	return nil
+}
+
+func (e *NFAEngine) emitSpan(start, end int) {
+	e.matches++
+	if e.emit != nil {
+		e.emit(start, end)
+	}
+}
+
+// nextSetKey applies the [Key] transitions to every state in the set.
+func (e *NFAEngine) nextSetKey(set stateSet, key []byte) stateSet {
+	var out stateSet
+	for s := set; s != 0; s &= s - 1 {
+		q := bits.TrailingZeros(s)
+		if q >= len(e.steps) {
+			continue // accept state has no outgoing transitions
+		}
+		st := e.steps[q]
+		switch st.Kind {
+		case jsonpath.Child:
+			if automaton.KeyEqual(key, st.Name) {
+				out |= 1 << uint(q+1)
+			}
+		case jsonpath.AnyChild:
+			out |= 1 << uint(q+1)
+		case jsonpath.Descendant:
+			out |= 1 << uint(q) // a descendant survives any descent
+			if st.Name == "" || automaton.KeyEqual(key, st.Name) {
+				out |= 1 << uint(q+1)
+			}
+		}
+	}
+	return out
+}
+
+// nextSetIndex applies the array-element transitions.
+func (e *NFAEngine) nextSetIndex(set stateSet, idx int) stateSet {
+	var out stateSet
+	for s := set; s != 0; s &= s - 1 {
+		q := bits.TrailingZeros(s)
+		if q >= len(e.steps) {
+			continue
+		}
+		st := e.steps[q]
+		switch {
+		case st.IsArrayStep():
+			if idx >= st.Lo && idx < st.Hi {
+				out |= 1 << uint(q+1)
+			}
+		case st.Kind == jsonpath.Descendant:
+			out |= 1 << uint(q)
+			if st.Name == "" {
+				// `..*` also selects every array element.
+				out |= 1 << uint(q+1)
+			}
+		}
+	}
+	return out
+}
+
+// value consumes the value starting with byte b under state set `set`.
+// If the accept bit is in the set the caller has already decided to emit.
+func (e *NFAEngine) value(b byte, set stateSet) error {
+	s := e.s
+	switch b {
+	case '{':
+		if set == 0 {
+			return e.ff.GoOverObj(fastforward.G2)
+		}
+		return e.object(set)
+	case '[':
+		if set == 0 {
+			return e.ff.GoOverAry(fastforward.G2)
+		}
+		return e.array(set)
+	case '"':
+		return s.SkipString()
+	default:
+		s.SkipPrimitive()
+		return nil
+	}
+}
+
+func (e *NFAEngine) object(set stateSet) error {
+	s := e.s
+	if e.depth++; e.depth > maxNFADepth {
+		return fmt.Errorf("core: nesting deeper than %d at %d", maxNFADepth, s.Pos())
+	}
+	defer func() { e.depth-- }()
+	s.Advance(1) // '{'
+	for {
+		b, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("core: EOF inside object")
+		}
+		switch b {
+		case '}':
+			s.Advance(1)
+			return nil
+		case ',':
+			s.Advance(1)
+			continue
+		case '"':
+		default:
+			return fmt.Errorf("core: expected key at %d", s.Pos())
+		}
+		key, err := s.ReadString()
+		if err != nil {
+			return err
+		}
+		if err := s.Expect(':'); err != nil {
+			return err
+		}
+		vb, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("core: missing value at %d", s.Pos())
+		}
+		next := e.nextSetKey(set, key)
+		start := s.Pos()
+		if err := e.value(vb, next&^e.acceptBit()); err != nil {
+			return err
+		}
+		if next&e.acceptBit() != 0 {
+			e.emitSpan(start, trimWSEnd(s.Data(), start, s.Pos()))
+		}
+	}
+}
+
+func (e *NFAEngine) array(set stateSet) error {
+	s := e.s
+	if e.depth++; e.depth > maxNFADepth {
+		return fmt.Errorf("core: nesting deeper than %d at %d", maxNFADepth, s.Pos())
+	}
+	defer func() { e.depth-- }()
+	s.Advance(1) // '['
+	idx := 0
+	for {
+		b, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("core: EOF inside array")
+		}
+		switch b {
+		case ']':
+			s.Advance(1)
+			return nil
+		case ',':
+			s.Advance(1)
+			idx++
+			continue
+		}
+		next := e.nextSetIndex(set, idx)
+		start := s.Pos()
+		if err := e.value(b, next&^e.acceptBit()); err != nil {
+			return err
+		}
+		if next&e.acceptBit() != 0 {
+			e.emitSpan(start, trimWSEnd(s.Data(), start, s.Pos()))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"jsonski/internal/gen"
+	"jsonski/internal/jsonpath"
+)
+
+func parallelRun(t *testing.T, query string, data []byte, workers int) ([]string, Stats) {
+	t.Helper()
+	p := jsonpath.MustParse(query)
+	pe, err := NewParallelEngine(p, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	st, err := pe.Run(data, func(s, en int) {
+		mu.Lock()
+		got = append(got, string(data[s:en]))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("parallel %q: %v", query, err)
+	}
+	sort.Strings(got)
+	return got, st
+}
+
+func TestParallelEngineMatchesSerial(t *testing.T) {
+	data := genLargeArray(400)
+	for _, q := range []string{"$[*].id", "$[*].v.x", "$[10:20].id", "$[3]", "$[*].tags[1]"} {
+		want, _ := runQuery(t, q, string(data), false)
+		sort.Strings(want)
+		for _, workers := range []int{2, 4, 8} {
+			got, st := parallelRun(t, q, data, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s workers=%d: got %d matches, want %d\n%q\nvs\n%q",
+					q, workers, len(got), len(want), got, want)
+			}
+			if st.InputBytes != int64(len(data)) {
+				t.Fatalf("InputBytes = %d", st.InputBytes)
+			}
+		}
+	}
+}
+
+func TestParallelEngineChildPrefix(t *testing.T) {
+	inner := genLargeArray(300)
+	data := []byte(`{"meta": {"n": 1}, "pd": ` + string(inner) + `, "tail": [1,2]}`)
+	want, _ := runQuery(t, "$.pd[*].id", string(data), false)
+	sort.Strings(want)
+	got, _ := parallelRun(t, "$.pd[*].id", data, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %d want %d matches", len(got), len(want))
+	}
+}
+
+func TestParallelEngineNoArrayStepFallsBack(t *testing.T) {
+	data := []byte(`{"a": {"b": 7}}`)
+	got, _ := parallelRun(t, "$.a.b", data, 4)
+	if !reflect.DeepEqual(got, []string{"7"}) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParallelEngineNoMatchPrefix(t *testing.T) {
+	data := []byte(`{"other": [1,2,3]}`)
+	got, st := parallelRun(t, "$.missing[*]", data, 4)
+	if len(got) != 0 || st.Matches != 0 {
+		t.Fatalf("got %q st %+v", got, st)
+	}
+}
+
+func TestParallelEngineSingleWorkerSerial(t *testing.T) {
+	data := genLargeArray(50)
+	got, _ := parallelRun(t, "$[*].id", data, 1)
+	if len(got) != 50 {
+		t.Fatalf("got %d matches", len(got))
+	}
+}
+
+func TestParallelEngineRejectsDescendants(t *testing.T) {
+	p := jsonpath.MustParse("$..a")
+	if _, err := NewParallelEngine(p, 4); err == nil {
+		t.Fatal("expected error for descendant path")
+	}
+}
+
+func TestParallelEngineEscapeHeavyBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"s": "%s%s{[,]}", "id": %d}`,
+			strings.Repeat(`\\`, rng.Intn(9)), strings.Repeat(`\"`, rng.Intn(5)), i)
+	}
+	sb.WriteByte(']')
+	data := []byte(sb.String())
+	want, _ := runQuery(t, "$[*].id", string(data), false)
+	sort.Strings(want)
+	for _, workers := range []int{2, 3, 7, 16} {
+		got, _ := parallelRun(t, "$[*].id", data, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: got %d want %d", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestParallelEngineOnGeneratedDatasets(t *testing.T) {
+	for _, tc := range []struct{ ds, q string }{
+		{"tt", "$[*].text"},
+		{"bb", "$.pd[*].cp[1:3].id"},
+		{"wp", "$[10:21].cl.P150[*].ms.pty"},
+	} {
+		data, err := gen.Generate(tc.ds, 1<<19, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := runQuery(t, tc.q, string(data), false)
+		sort.Strings(want)
+		got, _ := parallelRun(t, tc.q, data, 6)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s %s: got %d want %d matches", tc.ds, tc.q, len(got), len(want))
+		}
+	}
+}
+
+func genLargeArray(n int) []byte {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id": %d, "tags": ["a,b", "c]d"], "v": {"x": %d}}`, i, i*i)
+	}
+	sb.WriteByte(']')
+	return []byte(sb.String())
+}

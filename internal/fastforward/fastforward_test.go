@@ -1,0 +1,575 @@
+package fastforward
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jsonski/internal/jsonpath"
+	"jsonski/internal/stream"
+)
+
+func ffAt(in string, pos int) *FF {
+	s := stream.New([]byte(in))
+	s.SetPos(pos)
+	return New(s)
+}
+
+func TestGoOverObjSimple(t *testing.T) {
+	in := `{"a":1} tail`
+	f := ffAt(in, 0)
+	if err := f.GoOverObj(G2); err != nil {
+		t.Fatal(err)
+	}
+	if f.S.Pos() != 7 {
+		t.Fatalf("pos = %d, want 7", f.S.Pos())
+	}
+	if f.Stats.SkippedBytes[G2] != 7 {
+		t.Fatalf("charged %d, want 7", f.Stats.SkippedBytes[G2])
+	}
+}
+
+func TestGoOverObjNested(t *testing.T) {
+	in := `{"a":{"b":{"c":[{"d":1},{"e":2}]}},"f":"}{"} , next`
+	f := ffAt(in, 0)
+	if err := f.GoOverObj(G2); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.LastIndex(in, "}") + 1
+	if f.S.Pos() != want {
+		t.Fatalf("pos = %d, want %d", f.S.Pos(), want)
+	}
+}
+
+func TestGoOverObjAcrossWords(t *testing.T) {
+	inner := `{"k":"` + strings.Repeat("x", 200) + `"}`
+	in := `{"a":` + inner + `,"b":` + inner + `}END`
+	f := ffAt(in, 0)
+	if err := f.GoOverObj(G2); err != nil {
+		t.Fatal(err)
+	}
+	if got := in[f.S.Pos():]; got != "END" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestGoOverObjLeadingWhitespace(t *testing.T) {
+	in := `   {"a":1}!`
+	f := ffAt(in, 0)
+	if err := f.GoOverObj(G2); err != nil {
+		t.Fatal(err)
+	}
+	if in[f.S.Pos()] != '!' {
+		t.Fatalf("cursor at %q", in[f.S.Pos():])
+	}
+}
+
+func TestGoOverObjUnbalanced(t *testing.T) {
+	f := ffAt(`{"a":{"b":1}`, 0)
+	if err := f.GoOverObj(G2); err == nil {
+		t.Fatal("expected unbalanced error")
+	}
+}
+
+func TestGoOverObjNotAnObject(t *testing.T) {
+	f := ffAt(`[1,2]`, 0)
+	if err := f.GoOverObj(G2); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestGoOverAry(t *testing.T) {
+	in := `[[1,2],[3,[4]],"]["] rest`
+	f := ffAt(in, 0)
+	if err := f.GoOverAry(G2); err != nil {
+		t.Fatal(err)
+	}
+	if got := in[f.S.Pos():]; got != " rest" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestGoToObjEnd(t *testing.T) {
+	in := `"x":1, "y":{"z":[1,2]}, "w":3} trailing`
+	// cursor inside an object whose '{' is behind us
+	f := ffAt(in, 0)
+	if err := f.GoToObjEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in[f.S.Pos():]; got != " trailing" {
+		t.Fatalf("cursor at %q", got)
+	}
+	if f.Stats.SkippedBytes[G4] == 0 {
+		t.Fatal("G4 not charged")
+	}
+}
+
+func TestGoToAryEnd(t *testing.T) {
+	in := `1, {"a":[9]}, [2,3]] trailing`
+	f := ffAt(in, 0)
+	if err := f.GoToAryEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in[f.S.Pos():]; got != " trailing" {
+		t.Fatalf("cursor at %q", got)
+	}
+	if f.Stats.SkippedBytes[G5] == 0 {
+		t.Fatal("G5 not charged")
+	}
+}
+
+func TestGoOverPriAttr(t *testing.T) {
+	cases := []struct {
+		in   string
+		term byte
+		rest string
+	}{
+		{`123, "b":2}`, ',', `, "b":2}`},
+		{`"str with , and }" }`, '}', `}`},
+		{`true}`, '}', `}`},
+		{`-1.5e3 , x`, ',', `, x`},
+	}
+	for _, c := range cases {
+		f := ffAt(c.in, 0)
+		term, err := f.GoOverPriAttr(G2)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if term != c.term {
+			t.Errorf("%q: term = %q, want %q", c.in, term, c.term)
+		}
+		if got := c.in[f.S.Pos():]; got != c.rest {
+			t.Errorf("%q: cursor at %q, want %q", c.in, got, c.rest)
+		}
+	}
+}
+
+func TestGoOverPriElem(t *testing.T) {
+	f := ffAt(`"a,b" ,2]`, 0)
+	term, err := f.GoOverPriElem(G2)
+	if err != nil || term != ',' {
+		t.Fatalf("term = %q err %v", term, err)
+	}
+	f = ffAt(`42]`, 0)
+	term, err = f.GoOverPriElem(G2)
+	if err != nil || term != ']' {
+		t.Fatalf("term = %q err %v", term, err)
+	}
+}
+
+func TestGoOverObjOut(t *testing.T) {
+	in := ` {"a": [1,2]} ,`
+	f := ffAt(in, 0)
+	sp, err := f.GoOverObjOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(sp.Bytes([]byte(in))); got != `{"a": [1,2]}` {
+		t.Fatalf("span = %q", got)
+	}
+	if f.Stats.SkippedBytes[G3] == 0 {
+		t.Fatal("G3 not charged")
+	}
+}
+
+func TestGoOverAryOut(t *testing.T) {
+	in := `[[0],{}] }`
+	f := ffAt(in, 0)
+	sp, err := f.GoOverAryOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(sp.Bytes([]byte(in))); got != `[[0],{}]` {
+		t.Fatalf("span = %q", got)
+	}
+}
+
+func TestGoOverPriAttrOut(t *testing.T) {
+	in := `  "hello world"   , next`
+	f := ffAt(in, 0)
+	f.S.SkipWS()
+	sp, term, err := f.GoOverPriAttrOut()
+	if err != nil || term != ',' {
+		t.Fatalf("term %q err %v", term, err)
+	}
+	if got := string(sp.Bytes([]byte(in))); got != `"hello world"` {
+		t.Fatalf("span = %q", got)
+	}
+}
+
+func TestGoOverPriElemOutEndsArray(t *testing.T) {
+	in := `null ]`
+	f := ffAt(in, 0)
+	sp, term, err := f.GoOverPriElemOut()
+	if err != nil || term != ']' {
+		t.Fatalf("term %q err %v", term, err)
+	}
+	if got := string(sp.Bytes([]byte(in))); got != `null` {
+		t.Fatalf("span = %q", got)
+	}
+}
+
+func TestNextAttrUnknownTakesFirst(t *testing.T) {
+	in := `"alpha": 1, "beta": {"x":2}}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.End || string(r.Name) != "alpha" || r.VType != jsonpath.Primitive {
+		t.Fatalf("r = %+v", r)
+	}
+	if in[f.S.Pos()] != '1' {
+		t.Fatalf("cursor at %q", in[f.S.Pos():])
+	}
+}
+
+func TestNextAttrSkipsWrongTypes(t *testing.T) {
+	in := `"coords": [1,2], "user": 7, "place": {"name":"x"}, "more": 1}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.End || string(r.Name) != "place" || r.VType != jsonpath.Object {
+		t.Fatalf("r = %+v name=%q", r, r.Name)
+	}
+	if in[f.S.Pos()] != '{' {
+		t.Fatalf("cursor at %q", in[f.S.Pos():])
+	}
+	if f.Stats.SkippedBytes[G1] == 0 {
+		t.Fatal("G1 not charged for skipped attributes")
+	}
+}
+
+func TestNextAttrObjectEnds(t *testing.T) {
+	in := `"a": 1, "b": [2]} tail`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.End {
+		t.Fatalf("r = %+v, want End", r)
+	}
+	if got := in[f.S.Pos():]; got != " tail" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestNextAttrEmptyObject(t *testing.T) {
+	in := `} tail`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Unknown)
+	if err != nil || !r.End {
+		t.Fatalf("r = %+v err %v", r, err)
+	}
+}
+
+func TestNextAttrTrickyNames(t *testing.T) {
+	in := `"a:b{}": [0], "real": {"v":1}}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil || string(r.Name) != "real" {
+		t.Fatalf("r = %+v err %v", r, err)
+	}
+}
+
+func TestNextAttrNameWithWhitespaceBeforeColon(t *testing.T) {
+	in := `"key"   : {"x":1}}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil || string(r.Name) != "key" {
+		t.Fatalf("r = %+v err %v", r, err)
+	}
+}
+
+func TestNextElemSkipsTypes(t *testing.T) {
+	in := `1, "two", [3], {"four":4}, 5]`
+	f := ffAt(in, 0)
+	r, err := f.NextElem(jsonpath.Object, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.End || r.VType != jsonpath.Object || r.Index != 3 {
+		t.Fatalf("r = %+v", r)
+	}
+	if in[f.S.Pos()] != '{' {
+		t.Fatalf("cursor at %q", in[f.S.Pos():])
+	}
+}
+
+func TestNextElemIndexCountingThroughPrimitiveRun(t *testing.T) {
+	elems := make([]string, 100)
+	for i := range elems {
+		elems[i] = fmt.Sprint(i)
+	}
+	in := strings.Join(elems, ", ") + `, {"hit": true}]`
+	f := ffAt(in, 0)
+	r, err := f.NextElem(jsonpath.Object, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Index != 100 || r.VType != jsonpath.Object {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestNextElemArrayEnds(t *testing.T) {
+	in := `1, 2, 3] tail`
+	f := ffAt(in, 0)
+	r, err := f.NextElem(jsonpath.Object, 0)
+	if err != nil || !r.End {
+		t.Fatalf("r = %+v err %v", r, err)
+	}
+	if got := in[f.S.Pos():]; got != " tail" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestNextElemEmptyArray(t *testing.T) {
+	f := ffAt(`]`, 0)
+	r, err := f.NextElem(jsonpath.Unknown, 0)
+	if err != nil || !r.End {
+		t.Fatalf("r = %+v err %v", r, err)
+	}
+}
+
+func TestGoOverElems(t *testing.T) {
+	in := `0, {"a":1}, [2,2], "three", 4, 5] tail`
+	f := ffAt(in, 0)
+	n, ended, err := f.GoOverElems(4)
+	if err != nil || n != 4 || ended {
+		t.Fatalf("n = %d ended %v err %v", n, ended, err)
+	}
+	b, _ := f.S.SkipWS()
+	if b != '4' {
+		t.Fatalf("cursor at %q", in[f.S.Pos():])
+	}
+}
+
+func TestGoOverElemsPrimitiveRunBounded(t *testing.T) {
+	elems := make([]string, 50)
+	for i := range elems {
+		elems[i] = fmt.Sprint(i)
+	}
+	in := strings.Join(elems, ",") + "]"
+	f := ffAt(in, 0)
+	n, ended, err := f.GoOverElems(10)
+	if err != nil || n != 10 || ended {
+		t.Fatalf("n = %d ended %v err %v", n, ended, err)
+	}
+	b, _ := f.S.SkipWS()
+	if b != '1' { // element "10"
+		t.Fatalf("cursor at %q", in[f.S.Pos():])
+	}
+	rest := in[f.S.Pos():]
+	if !strings.HasPrefix(rest, "10,") {
+		t.Fatalf("cursor at %q, want prefix 10,", rest)
+	}
+}
+
+func TestGoOverElemsArrayEndsEarly(t *testing.T) {
+	in := `1, 2] tail`
+	f := ffAt(in, 0)
+	n, ended, err := f.GoOverElems(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || !ended {
+		t.Fatalf("n = %d ended %v, want 2 true", n, ended)
+	}
+	if got := in[f.S.Pos():]; got != " tail" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestStatsRatio(t *testing.T) {
+	var st Stats
+	st.SkippedBytes[G1] = 30
+	st.SkippedBytes[G4] = 60
+	per, overall := st.Ratio(100)
+	if per[G1] != 0.3 || per[G4] != 0.6 || overall != 0.9 {
+		t.Fatalf("per = %v overall = %v", per, overall)
+	}
+	if _, ov := st.Ratio(0); ov != 0 {
+		t.Fatal("Ratio(0) should be 0")
+	}
+	if st.TotalSkipped() != 90 {
+		t.Fatalf("TotalSkipped = %d", st.TotalSkipped())
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if G1.String() != "G1" || G5.String() != "G5" || Group(9).String() != "G?" {
+		t.Fatal("Group.String broken")
+	}
+}
+
+// TestGoOverObjRandomOracle generates random nested JSON values with
+// encoding/json and checks that GoOverObj/GoOverAry land exactly past the
+// value.
+func TestGoOverObjRandomOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	var gen func(depth int) any
+	gen = func(depth int) any {
+		if depth <= 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return rng.Intn(1000)
+			case 1:
+				return "s,tr}in]g{" + strings.Repeat("x", rng.Intn(30))
+			case 2:
+				return true
+			default:
+				return nil
+			}
+		}
+		if rng.Intn(2) == 0 {
+			m := map[string]any{}
+			for i := 0; i < rng.Intn(5); i++ {
+				m[fmt.Sprintf("k%d", i)] = gen(depth - 1)
+			}
+			return m
+		}
+		arr := []any{}
+		for i := 0; i < rng.Intn(5); i++ {
+			arr = append(arr, gen(depth-1))
+		}
+		return arr
+	}
+	for trial := 0; trial < 200; trial++ {
+		v := gen(4)
+		enc, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := string(enc) + "@TAIL"
+		f := ffAt(in, 0)
+		switch enc[0] {
+		case '{':
+			err = f.GoOverObj(G2)
+		case '[':
+			err = f.GoOverAry(G2)
+		default:
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v on %s", trial, err, enc)
+		}
+		if got := in[f.S.Pos():]; got != "@TAIL" {
+			t.Fatalf("trial %d: cursor at %q for %s", trial, got, enc)
+		}
+	}
+}
+
+// TestGoToEndDeepNesting exercises the pairing counter across many words
+// of deep, brace-heavy nesting.
+func TestGoToEndDeepNesting(t *testing.T) {
+	depth := 300
+	in := strings.Repeat(`{"a":`, depth) + "1" + strings.Repeat("}", depth) + " T"
+	f := ffAt(in, 0)
+	if err := f.GoOverObj(G2); err != nil {
+		t.Fatal(err)
+	}
+	if got := in[f.S.Pos():]; got != " T" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestNextTypedAttrBatchedRun(t *testing.T) {
+	// many primitive attrs before the object-typed candidate, spanning
+	// multiple words
+	var sb strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&sb, `"k%d": %d, `, i, i)
+	}
+	in := sb.String() + `"target": {"v": 1}, "后": 2}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Name) != "target" || r.VType != jsonpath.Object {
+		t.Fatalf("r = %+v name=%q", r, r.Name)
+	}
+	if f.S.Current() != '{' {
+		t.Fatalf("cursor on %q", f.S.Current())
+	}
+	if f.Stats.SkippedBytes[G1] == 0 {
+		t.Fatal("batched run should charge G1")
+	}
+}
+
+func TestNextTypedAttrCandidateIsFirst(t *testing.T) {
+	in := `"dt": {"tx": "x"}, "vl": 1}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil || string(r.Name) != "dt" {
+		t.Fatalf("r=%+v err=%v", r, err)
+	}
+}
+
+func TestNextTypedAttrEscapedCandidateName(t *testing.T) {
+	in := `"x": 1, "say \"hi\"": {"v": 2}}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Name) != `say \"hi\"` {
+		t.Fatalf("name = %q", r.Name)
+	}
+}
+
+func TestNextTypedAttrStringsWithBraces(t *testing.T) {
+	// braces inside string values must not stop the batched scan
+	in := `"a": "{fake}", "b": "[also]", "real": {"v": 1}}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil || string(r.Name) != "real" {
+		t.Fatalf("r=%+v name=%q err=%v", r, r.Name, err)
+	}
+}
+
+func TestNextTypedAttrArrayExpected(t *testing.T) {
+	in := `"n": 1, "obj": {"x": [1]}, "arr": [2, 3], "tail": 4}`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Array)
+	if err != nil || string(r.Name) != "arr" || r.VType != jsonpath.Array {
+		t.Fatalf("r=%+v name=%q err=%v", r, r.Name, err)
+	}
+}
+
+func TestNextTypedAttrObjectEndsEarly(t *testing.T) {
+	in := `"a": 1, "b": "two"} tail`
+	f := ffAt(in, 0)
+	r, err := f.NextAttr(jsonpath.Object)
+	if err != nil || !r.End {
+		t.Fatalf("r=%+v err=%v", r, err)
+	}
+	if got := in[f.S.Pos():]; got != " tail" {
+		t.Fatalf("cursor at %q", got)
+	}
+}
+
+func TestNameBefore(t *testing.T) {
+	data := []byte(`{"key"  :  {`)
+	name, err := nameBefore(data, len(data)-1)
+	if err != nil || string(name) != "key" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	data = []byte(`{"a\\\"b": {`)
+	name, err = nameBefore(data, len(data)-1)
+	if err != nil || string(name) != `a\\\"b` {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	if _, err := nameBefore([]byte(`{1: {`), 4); err == nil {
+		t.Fatal("non-string key should error")
+	}
+	if _, err := nameBefore([]byte(`{`), 0); err == nil {
+		t.Fatal("missing context should error")
+	}
+}

@@ -1,0 +1,451 @@
+// Package gen synthesizes the six evaluation datasets of the JSONSki
+// paper (Table 4) at configurable sizes. The real corpora (Twitter,
+// Best Buy, Google Maps Directions, NSPL, Walmart, Wikidata) are not
+// redistributable, so each generator reproduces the *structural* profile
+// the paper reports — the ratio of objects to arrays to attributes to
+// primitives, nesting depth, and where the queried paths sit in the
+// record — because fast-forward behaviour depends on structure, not on
+// the concrete strings.
+//
+// Every dataset comes in the paper's two formats: one single large record
+// (Figures 10, 13, 14 and Table 6) and a sequence of small records
+// (Figures 11 and 12).
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Names lists the dataset identifiers, in the paper's order.
+var Names = []string{"tt", "bb", "gmd", "nspl", "wm", "wp"}
+
+// writer accumulates one record's text.
+type writer struct {
+	bytes.Buffer
+	rng *rand.Rand
+}
+
+func (w *writer) kv(comma bool, key, format string, args ...any) {
+	if comma {
+		w.WriteByte(',')
+	}
+	fmt.Fprintf(&w.Buffer, `"%s":`, key)
+	fmt.Fprintf(&w.Buffer, format, args...)
+}
+
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango",
+}
+
+func (w *writer) text(n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(words[w.rng.Intn(len(words))])
+	}
+	// Occasionally embed characters that stress string masking.
+	switch w.rng.Intn(8) {
+	case 0:
+		b.WriteString(` {not a brace}`)
+	case 1:
+		b.WriteString(` [1,2]:`)
+	case 2:
+		b.WriteString(` quote \" inside`)
+	}
+	return b.String()
+}
+
+// Generate produces a single large record of roughly targetBytes for the
+// named dataset. Generation is deterministic for a given (name, seed).
+func Generate(name string, targetBytes int, seed int64) ([]byte, error) {
+	g, err := generatorFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return g.large(targetBytes, seed), nil
+}
+
+// GenerateRecords produces a sequence of small records totaling roughly
+// targetBytes.
+func GenerateRecords(name string, targetBytes int, seed int64) ([][]byte, error) {
+	g, err := generatorFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return g.small(targetBytes, seed), nil
+}
+
+type generator interface {
+	large(target int, seed int64) []byte
+	small(target int, seed int64) [][]byte
+}
+
+func generatorFor(name string) (generator, error) {
+	switch name {
+	case "tt":
+		return ttGen{}, nil
+	case "bb":
+		return bbGen{}, nil
+	case "gmd":
+		return gmdGen{}, nil
+	case "nspl":
+		return nsplGen{}, nil
+	case "wm":
+		return wmGen{}, nil
+	case "wp":
+		return wpGen{}, nil
+	default:
+		return nil, fmt.Errorf("gen: unknown dataset %q (have %v)", name, Names)
+	}
+}
+
+// elementsToTarget keeps emitting records from gen until the total
+// reaches the target.
+func elementsToTarget(target int, seed int64, one func(w *writer, i int)) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]byte
+	total := 0
+	for i := 0; total < target; i++ {
+		w := &writer{rng: rng}
+		one(w, i)
+		rec := append([]byte(nil), w.Bytes()...)
+		out = append(out, rec)
+		total += len(rec) + 1
+	}
+	return out
+}
+
+// joinArray wraps records into one big array record.
+func joinArray(records [][]byte) []byte {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, r := range records {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(r)
+	}
+	b.WriteByte(']')
+	return b.Bytes()
+}
+
+// ---------------------------------------------------------------- TT --
+
+// ttGen emulates the Twitter stream: an array of tweet objects, object-
+// heavy with moderate arrays, depth ~11. ~60% of tweets carry an
+// entities object with a url list (query TT1); every tweet has a text
+// attribute (TT2).
+type ttGen struct{}
+
+func (ttGen) tweet(w *writer, i int) {
+	r := w.rng
+	w.WriteByte('{')
+	w.kv(false, "created_at", `"%s 2021"`, w.text(2))
+	w.kv(true, "id", "%d", 1_000_000+i)
+	w.kv(true, "text", `"%s"`, w.text(6+r.Intn(12)))
+	w.kv(true, "source", `"<a href=\"https://twitter.test\">web</a>"`)
+	// user: nested object with its own sub-objects
+	w.kv(true, "user", `{"id":%d,"name":"%s","screen_name":"%s","verified":%t,"entities":{"description":{"urls":[]}},"followers_count":%d}`,
+		r.Intn(1e7), w.text(2), words[r.Intn(len(words))], r.Intn(10) == 0, r.Intn(1e5))
+	if r.Intn(5) != 0 { // coordinates (array attribute TT1 must skip by type)
+		w.kv(true, "coordinates", `[%0.6f,%0.6f]`, r.Float64()*180-90, r.Float64()*360-180)
+	}
+	if r.Intn(5) < 3 { // entities present ~60%
+		w.WriteString(`,"en":{"hashtags":[`)
+		for h := 0; h < r.Intn(3); h++ {
+			if h > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `{"text":"%s","indices":[%d,%d]}`, words[r.Intn(len(words))], h, h+7)
+		}
+		w.WriteString(`],"urls":[`)
+		for u := 0; u < r.Intn(3); u++ {
+			if u > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `{"url":"https://t.test/%d%d","expanded":{"full":"https://example.test/%s","meta":{"len":%d}},"indices":[[%d],[%d]]}`,
+				i, u, words[r.Intn(len(words))], r.Intn(99), u, u+1)
+		}
+		w.WriteString(`]}`)
+	}
+	if r.Intn(4) == 0 { // place: object with bounding box, adds depth
+		w.kv(true, "place", `{"name":"%s","bounding_box":{"type":"Polygon","pos":[[[%0.4f,%0.4f],[%0.4f,%0.4f]]]}}`,
+			w.text(1), r.Float64(), r.Float64(), r.Float64(), r.Float64())
+	}
+	w.kv(true, "retweet_count", "%d", r.Intn(1000))
+	w.kv(true, "lang", `"en"`)
+	w.WriteByte('}')
+}
+
+func (g ttGen) small(target int, seed int64) [][]byte {
+	return elementsToTarget(target, seed, g.tweet)
+}
+
+func (g ttGen) large(target int, seed int64) []byte {
+	return joinArray(g.small(target-2, seed))
+}
+
+// ---------------------------------------------------------------- BB --
+
+// bbGen emulates the Best Buy product dump: array-heavy (Table 4 shows
+// 2.5 arrays per object), depth ~7. Root is an object whose "pd" array
+// holds the products; cp (category path) is common, vc (variations) is
+// rare, matching BB2's low match count.
+type bbGen struct{}
+
+func (bbGen) product(w *writer, i int) {
+	r := w.rng
+	w.WriteByte('{')
+	w.kv(false, "sku", "%d", 4_000_000+i)
+	w.kv(true, "nm", `"%s"`, w.text(4))
+	w.kv(true, "upc", `"%012d"`, r.Int63n(1e12))
+	w.WriteString(`,"cp":[`)
+	for c := 0; c < 2+r.Intn(4); c++ { // 2..5 path entries; [1:3] usually full
+		if c > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `{"id":"abcat%07d","nm":"%s","pids":[%d,%d],"crumbs":["%s","%s"]}`,
+			r.Intn(1e7), words[r.Intn(len(words))], r.Intn(99), r.Intn(99),
+			words[r.Intn(len(words))], words[r.Intn(len(words))])
+	}
+	w.WriteString(`]`)
+	w.kv(true, "price", "%0.2f", r.Float64()*500)
+	w.kv(true, "imgs", `["https://img.test/%d/a.jpg","https://img.test/%d/b.jpg"]`, i, i)
+	w.kv(true, "dims", `[%0.1f,%0.1f,%0.1f]`, r.Float64()*10, r.Float64()*10, r.Float64()*10)
+	if r.Intn(50) == 0 { // variations: rare, drives BB2's selectivity
+		w.WriteString(`,"vc":[`)
+		for v := 0; v < 1+r.Intn(2); v++ {
+			if v > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `{"cha":"%s","vals":["%s","%s"]}`, w.text(1), words[r.Intn(len(words))], words[r.Intn(len(words))])
+		}
+		w.WriteString(`]`)
+	}
+	w.WriteString(`,"offers":[`)
+	for o := 0; o < r.Intn(3); o++ {
+		if o > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `{"id":%d,"pct":[%d,%d]}`, o, r.Intn(50), r.Intn(50))
+	}
+	w.WriteString(`]}`)
+}
+
+func (g bbGen) small(target int, seed int64) [][]byte {
+	return elementsToTarget(target, seed, g.product)
+}
+
+func (g bbGen) large(target int, seed int64) []byte {
+	products := g.small(target-40, seed)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"from":0,"total":%d,"pd":`, len(products))
+	b.Write(joinArray(products))
+	b.WriteString(`,"partial":false}`)
+	return b.Bytes()
+}
+
+// --------------------------------------------------------------- GMD --
+
+// gmdGen emulates Google Maps Directions: overwhelmingly objects (240
+// objects per array in Table 4), deep (9): route -> legs -> steps, each
+// step an object with a distance/duration object and a dt.tx instruction.
+type gmdGen struct{}
+
+func (gmdGen) direction(w *writer, i int) {
+	r := w.rng
+	w.WriteByte('{')
+	w.kv(false, "status", `"OK"`)
+	w.kv(true, "gid", `"%s-%d"`, words[r.Intn(len(words))], i)
+	w.WriteString(`,"rt":[`)
+	for rt := 0; rt < 1+r.Intn(2); rt++ {
+		if rt > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(`{"summary":"` + words[r.Intn(len(words))] + `","lg":[`)
+		for lg := 0; lg < 1+r.Intn(2); lg++ {
+			if lg > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`{"dist":{"text":"` + words[r.Intn(len(words))] + `","value":` + fmt.Sprint(r.Intn(1e5)) + `},"st":[`)
+			for st := 0; st < 2+r.Intn(4); st++ {
+				if st > 0 {
+					w.WriteByte(',')
+				}
+				fmt.Fprintf(w, `{"dt":{"tx":"%s","vl":%d},"dur":{"text":"%d mins","value":%d},"start":{"lat":%0.5f,"lng":%0.5f},"end":{"lat":%0.5f,"lng":%0.5f},"mode":"DRIVING"}`,
+					w.text(3+r.Intn(4)), r.Intn(5000), r.Intn(60), r.Intn(3600),
+					r.Float64()*90, r.Float64()*180, r.Float64()*90, r.Float64()*180)
+			}
+			w.WriteString(`]}`)
+		}
+		w.WriteString(`]}`)
+	}
+	w.WriteString(`]`)
+	if r.Intn(100) == 0 { // atm: very rare (GMD2 has 270 matches on 1GB)
+		w.kv(true, "atm", `{"kind":"notice","msg":"%s"}`, w.text(2))
+	}
+	w.WriteByte('}')
+}
+
+func (g gmdGen) small(target int, seed int64) [][]byte {
+	return elementsToTarget(target, seed, g.direction)
+}
+
+func (g gmdGen) large(target int, seed int64) []byte {
+	return joinArray(g.small(target-2, seed))
+}
+
+// -------------------------------------------------------------- NSPL --
+
+// nsplGen emulates the National Statistics Postcode Lookup: a tiny
+// metadata object followed by an enormous primitive-heavy table — 613
+// objects versus 3.5M arrays and 84M primitives in Table 4. Query NSPL1
+// touches only the metadata (hence the paper's 99.99% G4 ratio); NSPL2
+// slices each row (G5).
+type nsplGen struct{}
+
+func (nsplGen) row(w *writer, i int) {
+	r := w.rng
+	// a row: array of small arrays of primitives
+	w.WriteByte('[')
+	cells := 4 + r.Intn(4)
+	for c := 0; c < cells; c++ {
+		if c > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteByte('[')
+		vals := 4 + r.Intn(5)
+		for v := 0; v < vals; v++ {
+			if v > 0 {
+				w.WriteByte(',')
+			}
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(w, `"%s%d %dAB"`, words[r.Intn(len(words))][:2], r.Intn(99), r.Intn(9))
+			case 1:
+				fmt.Fprint(w, r.Intn(1e6))
+			default:
+				fmt.Fprintf(w, "%0.4f", r.Float64()*100)
+			}
+		}
+		w.WriteByte(']')
+	}
+	w.WriteByte(']')
+}
+
+func (g nsplGen) small(target int, seed int64) [][]byte {
+	return elementsToTarget(target, seed, g.row)
+}
+
+func (g nsplGen) large(target int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	// metadata object first: NSPL1's 44 matches live here
+	b.WriteString(`{"mt":{"id":"nspl-2021","vw":{"nm":"default","co":[`)
+	for i := 0; i < 44; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"nm":"col_%s_%d","ty":"text","w":%d}`, words[rng.Intn(len(words))], i, rng.Intn(300))
+	}
+	b.WriteString(`]},"attribution":["ONS","OS"]},"dt":`)
+	rows := elementsToTarget(target-b.Len()-2, seed+1, nsplGen{}.row)
+	b.Write(joinArray(rows))
+	b.WriteString(`}`)
+	return b.Bytes()
+}
+
+// ---------------------------------------------------------------- WM --
+
+// wmGen emulates the Walmart product feed: shallow (depth 4), attribute-
+// dense objects with very few arrays. bmrpr (buy-box price) is present on
+// ~6% of items (WM1's selectivity); every item has nm (WM2).
+type wmGen struct{}
+
+func (wmGen) item(w *writer, i int) {
+	r := w.rng
+	w.WriteByte('{')
+	w.kv(false, "itemId", "%d", 10_000_000+i)
+	w.kv(true, "nm", `"%s"`, w.text(5))
+	w.kv(true, "msrp", "%0.2f", r.Float64()*900)
+	w.kv(true, "salePrice", "%0.2f", r.Float64()*800)
+	w.kv(true, "upc", `"%012d"`, r.Int63n(1e12))
+	w.kv(true, "cat", `{"l1":"%s","l2":"%s","l3":{"name":"%s","id":%d}}`,
+		words[r.Intn(len(words))], words[r.Intn(len(words))], words[r.Intn(len(words))], r.Intn(1e4))
+	if r.Intn(16) == 0 {
+		w.kv(true, "bmrpr", `{"pr":%0.2f,"cur":"USD"}`, r.Float64()*700)
+	}
+	w.kv(true, "desc", `"%s"`, w.text(10+r.Intn(10)))
+	w.kv(true, "stock", `{"online":%t,"store":%t}`, r.Intn(2) == 0, r.Intn(2) == 0)
+	w.kv(true, "reviews", `{"count":%d,"avg":{"overall":%0.1f}}`, r.Intn(5000), r.Float64()*5)
+	w.WriteByte('}')
+}
+
+func (g wmGen) small(target int, seed int64) [][]byte {
+	return elementsToTarget(target, seed, g.item)
+}
+
+func (g wmGen) large(target int, seed int64) []byte {
+	items := g.small(target-40, seed)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"query":"*","totalResults":%d,"it":`, len(items))
+	b.Write(joinArray(items))
+	b.WriteString(`,"facets":[]}`)
+	return b.Bytes()
+}
+
+// ---------------------------------------------------------------- WP --
+
+// wpGen emulates the Wikidata entity dump: the deepest dataset (12) with
+// the most objects (17.3M). Each entity holds labels and a claims object
+// whose P-properties map to arrays of statements; P150 appears on a
+// fraction of entities (WP1).
+type wpGen struct{}
+
+func (wpGen) entity(w *writer, i int) {
+	r := w.rng
+	w.WriteByte('{')
+	w.kv(false, "id", `"Q%d"`, 100+i)
+	w.kv(true, "ty", `"item"`)
+	w.kv(true, "lb", `{"en":{"language":"en","value":"%s"},"de":{"language":"de","value":"%s"}}`,
+		w.text(2), w.text(2))
+	w.WriteString(`,"cl":{`)
+	first := true
+	if r.Intn(3) == 0 { // P150: contains administrative territorial entity
+		w.WriteString(`"P150":[`)
+		for s := 0; s < 1+r.Intn(3); s++ {
+			if s > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `{"ms":{"pty":"P150","dv":{"value":{"entity":{"nid":%d,"meta":{"rev":{"n":%d}}}},"type":"wikibase-entityid"}},"rank":"normal"}`,
+				r.Intn(1e6), r.Intn(1e3))
+		}
+		w.WriteString(`]`)
+		first = false
+	}
+	for p := 0; p < 2+r.Intn(3); p++ { // other properties
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(w, `"P%d":[{"ms":{"pty":"P%d","dv":{"value":"%s","type":"string"}},"rank":"normal","refs":[{"snaks":{"P248":[{"dt":"x"}]}}]}]`,
+			31+p, 31+p, words[r.Intn(len(words))])
+	}
+	w.WriteString(`}`)
+	w.kv(true, "sitelinks", `{"enwiki":{"site":"enwiki","title":"%s"}}`, w.text(2))
+	w.WriteByte('}')
+}
+
+func (g wpGen) small(target int, seed int64) [][]byte {
+	return elementsToTarget(target, seed, g.entity)
+}
+
+func (g wpGen) large(target int, seed int64) []byte {
+	return joinArray(g.small(target-2, seed))
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGenerateValidJSON(t *testing.T) {
+	for _, name := range Names {
+		data, err := Generate(name, 64<<10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(data) {
+			t.Errorf("%s: large record is invalid JSON", name)
+		}
+		recs, err := GenerateRecords(name, 64<<10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) < 2 {
+			t.Errorf("%s: only %d small records", name, len(recs))
+		}
+		for i, r := range recs[:2] {
+			if !json.Valid(r) {
+				t.Errorf("%s: record %d invalid JSON: %.80s", name, i, r)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate("tt", 32<<10, 7)
+	b, _ := Generate("tt", 32<<10, 7)
+	if string(a) != string(b) {
+		t.Fatal("same seed must give identical output")
+	}
+	c, _ := Generate("tt", 32<<10, 8)
+	if string(a) == string(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateSizeTarget(t *testing.T) {
+	for _, name := range Names {
+		data, _ := Generate(name, 256<<10, 3)
+		if len(data) < 256<<10 || len(data) > 300<<10 {
+			t.Errorf("%s: size %d not near 256KiB target", name, len(data))
+		}
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := Generate("nope", 1024, 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := GenerateRecords("nope", 1024, 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+// TestStructuralProfiles checks that each dataset reproduces its Table 4
+// character: which of objects/arrays dominates, primitive density, and
+// depth.
+func TestStructuralProfiles(t *testing.T) {
+	size := 512 << 10
+	get := func(name string) TableStats {
+		data, err := Generate(name, size, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Stats(data)
+	}
+	tt := get("tt")
+	if tt.MaxDepth < 7 {
+		t.Errorf("tt depth = %d, want >= 7", tt.MaxDepth)
+	}
+	if tt.Objects < tt.Arrays {
+		t.Errorf("tt should be object-leaning: %+v", tt)
+	}
+	bb := get("bb")
+	if bb.Arrays < bb.Objects {
+		t.Errorf("bb should be array-heavy (Table 4: 4.88M arrays vs 1.91M objects): %+v", bb)
+	}
+	gmd := get("gmd")
+	if gmd.Objects < 5*gmd.Arrays {
+		t.Errorf("gmd should be overwhelmingly objects: %+v", gmd)
+	}
+	nspl := get("nspl")
+	if nspl.Arrays < 100*nspl.Objects {
+		t.Errorf("nspl should be nearly all arrays+primitives: %+v", nspl)
+	}
+	if nspl.Primitives < 10*nspl.Attributes {
+		t.Errorf("nspl should be primitive-dominated: %+v", nspl)
+	}
+	wm := get("wm")
+	if wm.MaxDepth > 6 {
+		t.Errorf("wm should be shallow (Table 4 depth 4): %+v", wm)
+	}
+	if wm.Arrays*10 > wm.Objects {
+		t.Errorf("wm should have very few arrays: %+v", wm)
+	}
+	wp := get("wp")
+	if wp.MaxDepth < 8 {
+		t.Errorf("wp should be deep (Table 4 depth 12): %+v", wp)
+	}
+}
+
+func TestStatsOnKnownInput(t *testing.T) {
+	st := Stats([]byte(`{"a": [1, "two", {"b": null}], "c": true}`))
+	if st.Objects != 2 || st.Arrays != 1 {
+		t.Errorf("containers: %+v", st)
+	}
+	if st.Attributes != 3 {
+		t.Errorf("attrs: %+v", st)
+	}
+	// primitives: 1, "two", null, true
+	if st.Primitives != 4 {
+		t.Errorf("prims: %+v", st)
+	}
+	if st.MaxDepth != 3 {
+		t.Errorf("depth: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestStatsIgnoresStringContent(t *testing.T) {
+	st := Stats([]byte(`{"k": "{[1,2]: fake}"}`))
+	if st.Objects != 1 || st.Arrays != 0 || st.Attributes != 1 || st.Primitives != 1 {
+		t.Errorf("stats fooled by string content: %+v", st)
+	}
+}

@@ -1,0 +1,96 @@
+package gen
+
+import "fmt"
+
+// TableStats summarizes a dataset's structure, mirroring the columns of
+// the paper's Table 4.
+type TableStats struct {
+	Bytes      int64
+	Objects    int64
+	Arrays     int64
+	Attributes int64
+	Primitives int64
+	MaxDepth   int
+}
+
+// String renders one Table-4-style row.
+func (s TableStats) String() string {
+	return fmt.Sprintf("bytes=%d objects=%d arrays=%d attrs=%d prims=%d depth=%d",
+		s.Bytes, s.Objects, s.Arrays, s.Attributes, s.Primitives, s.MaxDepth)
+}
+
+// Stats scans a record (or concatenated records) and counts its
+// structure. The scan is scalar; it is a reporting tool, not a
+// performance path.
+func Stats(data []byte) TableStats {
+	st := TableStats{Bytes: int64(len(data))}
+	depth := 0
+	inStr := false
+	expectValue := true          // next non-ws token starts a value
+	stack := make([]bool, 0, 64) // true = array, per open container
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		if inStr {
+			switch c {
+			case '\\':
+				i++
+			case '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+			if expectValue {
+				st.Primitives++
+				expectValue = false
+			}
+		case '{':
+			st.Objects++
+			depth++
+			if depth > st.MaxDepth {
+				st.MaxDepth = depth
+			}
+			stack = append(stack, false)
+			expectValue = false
+		case '[':
+			st.Arrays++
+			depth++
+			if depth > st.MaxDepth {
+				st.MaxDepth = depth
+			}
+			stack = append(stack, true)
+			expectValue = true
+		case '}', ']':
+			depth--
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+			expectValue = false
+		case ':':
+			st.Attributes++
+			expectValue = true
+		case ',':
+			// In an array a comma precedes a value; in an object it
+			// precedes the next key.
+			expectValue = len(stack) > 0 && stack[len(stack)-1]
+		case ' ', '\t', '\n', '\r':
+		default:
+			if expectValue {
+				st.Primitives++
+				expectValue = false
+				// consume the rest of the primitive token
+				for i+1 < len(data) {
+					switch data[i+1] {
+					case ',', '}', ']', ' ', '\t', '\n', '\r':
+						goto donePrim
+					}
+					i++
+				}
+			donePrim:
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,362 @@
+// Package jsonpath parses the JSONPath subset supported by JSONSki
+// (paper §5.1): root `$`, child access `.name` / `['name']`, array index
+// `[n]`, index range `[m:n]` (half-open, as in the paper's `[2:4]` =
+// third and fourth elements), and the wildcard `[*]` / `.*`.
+//
+// The descendant operator `..name` / `..*` — the paper's stated future
+// work — is also parsed; paths containing it are evaluated by a separate
+// NFA engine without fast-forwarding, because a descendant's level is
+// unknown and the value types along the path cannot be inferred.
+//
+// Beyond parsing, the package performs the type inference of §3.2: the
+// value selected by step i must be an object if step i+1 is a child step,
+// an array if step i+1 is an index/slice/wildcard-index step, and is of
+// unknown type at the final step.
+package jsonpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueType classifies a JSON value's syntactic type as far as the query
+// can infer it.
+type ValueType uint8
+
+// Value types inferable from a path.
+const (
+	Unknown ValueType = iota // any type (final step, or no constraint)
+	Object
+	Array
+	Primitive
+)
+
+// String implements fmt.Stringer.
+func (t ValueType) String() string {
+	switch t {
+	case Object:
+		return "object"
+	case Array:
+		return "array"
+	case Primitive:
+		return "primitive"
+	default:
+		return "unknown"
+	}
+}
+
+// TypeOfByte infers the type of the value starting with byte b.
+func TypeOfByte(b byte) ValueType {
+	switch b {
+	case '{':
+		return Object
+	case '[':
+		return Array
+	default:
+		return Primitive
+	}
+}
+
+// StepKind discriminates the path step variants.
+type StepKind uint8
+
+// Step kinds.
+const (
+	Child      StepKind = iota // .name or ['name']
+	AnyChild                   // .*  (matches every attribute)
+	Index                      // [n]
+	Slice                      // [m:n], half-open
+	Wildcard                   // [*]  (matches every element)
+	Descendant                 // ..name (Name == "" for ..*)
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case Child:
+		return "child"
+	case AnyChild:
+		return "any-child"
+	case Index:
+		return "index"
+	case Slice:
+		return "slice"
+	case Wildcard:
+		return "wildcard"
+	default:
+		return "descendant"
+	}
+}
+
+// MaxIndex is the exclusive upper bound used for unconstrained element
+// ranges ([*]).
+const MaxIndex = int(^uint(0) >> 1)
+
+// Step is one matching step of a compiled path.
+type Step struct {
+	Kind StepKind
+	Name string // Child only
+	Lo   int    // Index/Slice/Wildcard: first selected element index
+	Hi   int    // exclusive upper bound (Lo+1 for Index, MaxIndex for Wildcard)
+
+	// Expect is the inferred type of the value this step selects,
+	// derived from the step that follows (§3.2): Object before a child
+	// step, Array before an index step, Unknown at the tail.
+	Expect ValueType
+}
+
+// IsArrayStep reports whether the step applies to array elements.
+func (st Step) IsArrayStep() bool {
+	return st.Kind == Index || st.Kind == Slice || st.Kind == Wildcard
+}
+
+// Path is a compiled JSONPath query.
+type Path struct {
+	Steps []Step
+	src   string
+}
+
+// HasDescendant reports whether any step is a descendant step, which
+// selects the NFA evaluation engine.
+func (p *Path) HasDescendant() bool {
+	for _, st := range p.Steps {
+		if st.Kind == Descendant {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the original query text.
+func (p *Path) String() string { return p.src }
+
+// RootType returns the inferred type of the whole record: an object when
+// the first step is a child step, an array when it is an index step, and
+// Unknown for the bare `$`.
+func (p *Path) RootType() ValueType {
+	if len(p.Steps) == 0 {
+		return Unknown
+	}
+	if p.Steps[0].IsArrayStep() {
+		return Array
+	}
+	return Object
+}
+
+// ParseError describes a syntax error in a path expression.
+type ParseError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("jsonpath: %s at offset %d in %q", e.Msg, e.Pos, e.Query)
+}
+
+// Parse compiles a JSONPath expression.
+func Parse(query string) (*Path, error) {
+	s := strings.TrimSpace(query)
+	if s == "" {
+		return nil, &ParseError{query, 0, "empty query"}
+	}
+	if s[0] != '$' {
+		return nil, &ParseError{query, 0, "query must start with '$'"}
+	}
+	p := &parser{src: s, pos: 1, query: query}
+	var steps []Step
+	for p.pos < len(p.src) {
+		st, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, st)
+	}
+	// §3.2 type inference: each step's Expect comes from its successor.
+	// A descendant successor defeats inference (its level is unknown).
+	for i := range steps {
+		if i+1 == len(steps) || steps[i+1].Kind == Descendant ||
+			steps[i].Kind == Descendant {
+			steps[i].Expect = Unknown
+			continue
+		}
+		if steps[i+1].IsArrayStep() {
+			steps[i].Expect = Array
+		} else {
+			steps[i].Expect = Object
+		}
+	}
+	return &Path{Steps: steps, src: s}, nil
+}
+
+// MustParse is Parse for statically known-good queries; it panics on error.
+func MustParse(query string) *Path {
+	p, err := Parse(query)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src   string
+	pos   int
+	query string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.query, p.pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) step() (Step, error) {
+	switch p.src[p.pos] {
+	case '.':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+			if p.pos < len(p.src) && p.src[p.pos] == '*' {
+				p.pos++
+				return Step{Kind: Descendant}, nil
+			}
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != '.' && p.src[p.pos] != '[' {
+				p.pos++
+			}
+			if p.pos == start {
+				return Step{}, p.errf("empty descendant name")
+			}
+			return Step{Kind: Descendant, Name: p.src[start:p.pos]}, nil
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == '*' {
+			p.pos++
+			return Step{Kind: AnyChild}, nil
+		}
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '.' && p.src[p.pos] != '[' {
+			p.pos++
+		}
+		if p.pos == start {
+			return Step{}, p.errf("empty child name")
+		}
+		return Step{Kind: Child, Name: p.src[start:p.pos]}, nil
+	case '[':
+		return p.bracket()
+	default:
+		return Step{}, p.errf("expected '.' or '[', got %q", p.src[p.pos])
+	}
+}
+
+func (p *parser) bracket() (Step, error) {
+	p.pos++ // past '['
+	if p.pos >= len(p.src) {
+		return Step{}, p.errf("unterminated '['")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '*':
+		p.pos++
+		if err := p.expect(']'); err != nil {
+			return Step{}, err
+		}
+		return Step{Kind: Wildcard, Lo: 0, Hi: MaxIndex}, nil
+	case c == '\'' || c == '"':
+		name, err := p.quoted(c)
+		if err != nil {
+			return Step{}, err
+		}
+		if err := p.expect(']'); err != nil {
+			return Step{}, err
+		}
+		return Step{Kind: Child, Name: name}, nil
+	case c == '-' || (c >= '0' && c <= '9') || c == ':':
+		return p.indexOrSlice()
+	default:
+		return Step{}, p.errf("unexpected %q after '['", c)
+	}
+}
+
+func (p *parser) quoted(q byte) (string, error) {
+	p.pos++ // past opening quote
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			sb.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+			continue
+		}
+		if c == q {
+			p.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return "", p.errf("unterminated quoted name")
+}
+
+func (p *parser) expect(c byte) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q", c)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) indexOrSlice() (Step, error) {
+	lo, hasLo, err := p.number()
+	if err != nil {
+		return Step{}, err
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == ':' {
+		p.pos++
+		hi, hasHi, err := p.number()
+		if err != nil {
+			return Step{}, err
+		}
+		if err := p.expect(']'); err != nil {
+			return Step{}, err
+		}
+		if !hasLo {
+			lo = 0
+		}
+		if !hasHi {
+			hi = MaxIndex
+		}
+		if lo < 0 || hi < 0 {
+			return Step{}, p.errf("negative slice bounds are not supported")
+		}
+		if hi < lo {
+			return Step{}, p.errf("slice upper bound below lower bound")
+		}
+		return Step{Kind: Slice, Lo: lo, Hi: hi}, nil
+	}
+	if err := p.expect(']'); err != nil {
+		return Step{}, err
+	}
+	if !hasLo {
+		return Step{}, p.errf("missing index")
+	}
+	if lo < 0 {
+		return Step{}, p.errf("negative indexes are not supported")
+	}
+	return Step{Kind: Index, Lo: lo, Hi: lo + 1}, nil
+}
+
+func (p *parser) number() (int, bool, error) {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, false, nil
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, false, p.errf("bad number %q", p.src[start:p.pos])
+	}
+	return n, true, nil
+}

@@ -1,0 +1,212 @@
+package jsonpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	p, err := Parse("$.place.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(p.Steps))
+	}
+	if p.Steps[0].Kind != Child || p.Steps[0].Name != "place" {
+		t.Errorf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[1].Kind != Child || p.Steps[1].Name != "name" {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	// $.place.name : place must be an object, name is unknown.
+	p := MustParse("$.place.name")
+	if p.Steps[0].Expect != Object {
+		t.Errorf("place Expect = %v, want object", p.Steps[0].Expect)
+	}
+	if p.Steps[1].Expect != Unknown {
+		t.Errorf("name Expect = %v, want unknown", p.Steps[1].Expect)
+	}
+	// $.places[2:4].name : places must be an array.
+	p = MustParse("$.places[2:4].name")
+	if p.Steps[0].Expect != Array {
+		t.Errorf("places Expect = %v, want array", p.Steps[0].Expect)
+	}
+	if p.Steps[1].Expect != Object {
+		t.Errorf("[2:4] Expect = %v, want object", p.Steps[1].Expect)
+	}
+	if p.RootType() != Object {
+		t.Errorf("RootType = %v, want object", p.RootType())
+	}
+	p = MustParse("$[*].text")
+	if p.RootType() != Array {
+		t.Errorf("RootType = %v, want array", p.RootType())
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// All 12 query shapes from Table 5 must parse.
+	queries := []string{
+		"$[*].en.urls[*].url",
+		"$[*].text",
+		"$.pd[*].cp[1:3].id",
+		"$.pd[*].vc[*].cha",
+		"$[*].rt[*].lg[*].st[*].dt.tx",
+		"$[*].atm",
+		"$.mt.vw.co[*].nm",
+		"$.dt[*][*][2:4]",
+		"$.it[*].bmrpr.pr",
+		"$.it[*].nm",
+		"$[*].cl.P150[*].ms.pty",
+		"$[10:21].cl.P150[*].ms.pty",
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseIndexForms(t *testing.T) {
+	p := MustParse("$[3]")
+	if st := p.Steps[0]; st.Kind != Index || st.Lo != 3 || st.Hi != 4 {
+		t.Errorf("step = %+v", st)
+	}
+	p = MustParse("$[2:4]")
+	if st := p.Steps[0]; st.Kind != Slice || st.Lo != 2 || st.Hi != 4 {
+		t.Errorf("step = %+v", st)
+	}
+	p = MustParse("$[:4]")
+	if st := p.Steps[0]; st.Kind != Slice || st.Lo != 0 || st.Hi != 4 {
+		t.Errorf("step = %+v", st)
+	}
+	p = MustParse("$[2:]")
+	if st := p.Steps[0]; st.Kind != Slice || st.Lo != 2 || st.Hi != MaxIndex {
+		t.Errorf("step = %+v", st)
+	}
+	p = MustParse("$[*]")
+	if st := p.Steps[0]; st.Kind != Wildcard || st.Lo != 0 || st.Hi != MaxIndex {
+		t.Errorf("step = %+v", st)
+	}
+}
+
+func TestParseQuotedChild(t *testing.T) {
+	p := MustParse(`$['with.dot']["and[bracket]"]`)
+	if p.Steps[0].Name != "with.dot" {
+		t.Errorf("step 0 name = %q", p.Steps[0].Name)
+	}
+	if p.Steps[1].Name != "and[bracket]" {
+		t.Errorf("step 1 name = %q", p.Steps[1].Name)
+	}
+	p = MustParse(`$['it\'s']`)
+	if p.Steps[0].Name != "it's" {
+		t.Errorf("escaped name = %q", p.Steps[0].Name)
+	}
+}
+
+func TestParseAnyChild(t *testing.T) {
+	p := MustParse("$.*.id")
+	if p.Steps[0].Kind != AnyChild {
+		t.Errorf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[0].Expect != Object {
+		t.Errorf("Expect = %v", p.Steps[0].Expect)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"place.name",      // no $
+		"$.",              // empty child
+		"$[",              // unterminated
+		"$[abc]",          // junk in bracket
+		"$['unterminated", // unterminated quote
+		"$[1:0]",          // inverted slice
+		"$[-1]",           // negative index
+		"$[-2:-1]",        // negative slice
+		"$[]",             // missing index
+		"$x",              // junk after $
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("$[abc]")
+	if err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Errorf("error = %v", err)
+	}
+	var pe *ParseError
+	if pe, _ = err.(*ParseError); pe == nil {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("$[bad")
+}
+
+func TestParseDescendant(t *testing.T) {
+	p := MustParse("$..name")
+	if len(p.Steps) != 1 || p.Steps[0].Kind != Descendant || p.Steps[0].Name != "name" {
+		t.Fatalf("steps = %+v", p.Steps)
+	}
+	if !p.HasDescendant() {
+		t.Fatal("HasDescendant should be true")
+	}
+	p = MustParse("$.store..price[0]")
+	if p.Steps[1].Kind != Descendant || p.Steps[1].Name != "price" {
+		t.Fatalf("steps = %+v", p.Steps)
+	}
+	// type inference is suppressed around descendants
+	if p.Steps[0].Expect != Unknown || p.Steps[1].Expect != Unknown {
+		t.Fatalf("Expect leaked through descendant: %+v", p.Steps)
+	}
+	p = MustParse("$..*")
+	if p.Steps[0].Kind != Descendant || p.Steps[0].Name != "" {
+		t.Fatalf("steps = %+v", p.Steps)
+	}
+	if MustParse("$.a.b").HasDescendant() {
+		t.Fatal("HasDescendant false positive")
+	}
+	if _, err := Parse("$.."); err == nil {
+		t.Fatal("bare '..' should error")
+	}
+}
+
+func TestTypeOfByte(t *testing.T) {
+	if TypeOfByte('{') != Object || TypeOfByte('[') != Array ||
+		TypeOfByte('"') != Primitive || TypeOfByte('7') != Primitive ||
+		TypeOfByte('t') != Primitive {
+		t.Fatal("TypeOfByte misclassifies")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Object.String() != "object" || Array.String() != "array" ||
+		Primitive.String() != "primitive" || Unknown.String() != "unknown" {
+		t.Fatal("ValueType.String broken")
+	}
+	for _, k := range []StepKind{Child, AnyChild, Index, Slice, Wildcard} {
+		if k.String() == "" {
+			t.Fatal("StepKind.String broken")
+		}
+	}
+	p := MustParse("$.a[1]")
+	if p.String() != "$.a[1]" {
+		t.Errorf("Path.String = %q", p.String())
+	}
+}

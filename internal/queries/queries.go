@@ -1,0 +1,53 @@
+// Package queries binds the twelve JSONPath queries of the paper's
+// Table 5 to the synthetic datasets of internal/gen. Each query has a
+// form for the single-large-record scenario and — where the paper deems
+// it applicable — a form for the small-record scenario, with the leading
+// step that addresses the record container stripped.
+package queries
+
+import "fmt"
+
+// Q is one evaluated query.
+type Q struct {
+	ID      string // paper identifier: TT1, TT2, ...
+	Dataset string // gen dataset name
+	Large   string // query over the single large record
+	Small   string // query over individual small records; "" if N/A
+}
+
+// All lists the Table 5 queries in the paper's order.
+var All = []Q{
+	{ID: "TT1", Dataset: "tt", Large: "$[*].en.urls[*].url", Small: "$.en.urls[*].url"},
+	{ID: "TT2", Dataset: "tt", Large: "$[*].text", Small: "$.text"},
+	{ID: "BB1", Dataset: "bb", Large: "$.pd[*].cp[1:3].id", Small: "$.cp[1:3].id"},
+	{ID: "BB2", Dataset: "bb", Large: "$.pd[*].vc[*].cha", Small: "$.vc[*].cha"},
+	{ID: "GMD1", Dataset: "gmd", Large: "$[*].rt[*].lg[*].st[*].dt.tx", Small: "$.rt[*].lg[*].st[*].dt.tx"},
+	{ID: "GMD2", Dataset: "gmd", Large: "$[*].atm", Small: "$.atm"},
+	{ID: "NSPL1", Dataset: "nspl", Large: "$.mt.vw.co[*].nm", Small: ""},
+	{ID: "NSPL2", Dataset: "nspl", Large: "$.dt[*][*][2:4]", Small: "$[*][2:4]"},
+	{ID: "WM1", Dataset: "wm", Large: "$.it[*].bmrpr.pr", Small: "$.bmrpr.pr"},
+	{ID: "WM2", Dataset: "wm", Large: "$.it[*].nm", Small: "$.nm"},
+	{ID: "WP1", Dataset: "wp", Large: "$[*].cl.P150[*].ms.pty", Small: "$.cl.P150[*].ms.pty"},
+	{ID: "WP2", Dataset: "wp", Large: "$[10:21].cl.P150[*].ms.pty", Small: ""},
+}
+
+// ByID returns the query with the given paper identifier.
+func ByID(id string) (Q, error) {
+	for _, q := range All {
+		if q.ID == id {
+			return q, nil
+		}
+	}
+	return Q{}, fmt.Errorf("queries: unknown query id %q", id)
+}
+
+// ForDataset returns the queries evaluated over one dataset.
+func ForDataset(name string) []Q {
+	var out []Q
+	for _, q := range All {
+		if q.Dataset == name {
+			out = append(out, q)
+		}
+	}
+	return out
+}

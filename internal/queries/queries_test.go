@@ -1,0 +1,114 @@
+package queries
+
+import (
+	"testing"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/baseline/charstream"
+	"jsonski/internal/core"
+	"jsonski/internal/gen"
+	"jsonski/internal/jsonpath"
+)
+
+func TestAllParse(t *testing.T) {
+	for _, q := range All {
+		if _, err := jsonpath.Parse(q.Large); err != nil {
+			t.Errorf("%s large: %v", q.ID, err)
+		}
+		if q.Small != "" {
+			if _, err := jsonpath.Parse(q.Small); err != nil {
+				t.Errorf("%s small: %v", q.ID, err)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	q, err := ByID("TT1")
+	if err != nil || q.Dataset != "tt" {
+		t.Fatalf("q=%+v err=%v", q, err)
+	}
+	if _, err := ByID("XX9"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestForDataset(t *testing.T) {
+	if got := ForDataset("bb"); len(got) != 2 || got[0].ID != "BB1" {
+		t.Fatalf("got %+v", got)
+	}
+	if got := ForDataset("none"); got != nil {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestQueriesFindMatchesOnGeneratedData runs every Table 5 query over its
+// generated dataset and requires (a) a positive match count, (b) exact
+// agreement between JSONSki and the character-streaming baseline, and
+// (c) for the large-record scenario an overall fast-forward ratio in the
+// ballpark the paper reports (>90%).
+func TestQueriesFindMatchesOnGeneratedData(t *testing.T) {
+	const size = 1 << 20 // 1 MiB per dataset keeps the test fast
+	for _, q := range All {
+		data, err := gen.Generate(q.Dataset, size, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := jsonpath.MustParse(q.Large)
+		e := core.NewEngine(automaton.New(p))
+		st, err := e.Run(data, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if st.Matches == 0 {
+			t.Errorf("%s: zero matches on generated %s data", q.ID, q.Dataset)
+		}
+		cs := charstream.New(p)
+		n, err := cs.Count(data)
+		if err != nil {
+			t.Fatalf("%s charstream: %v", q.ID, err)
+		}
+		if n != st.Matches {
+			t.Errorf("%s: jsonski %d matches, charstream %d", q.ID, st.Matches, n)
+		}
+		if r := st.FastForwardRatio(); r < 0.90 {
+			t.Errorf("%s: fast-forward ratio %.3f below 0.90", q.ID, r)
+		}
+	}
+}
+
+// TestSmallRecordQueriesAgree does the same for the small-record forms.
+func TestSmallRecordQueriesAgree(t *testing.T) {
+	const size = 1 << 20
+	for _, q := range All {
+		if q.Small == "" {
+			continue
+		}
+		recs, err := gen.GenerateRecords(q.Dataset, size, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := jsonpath.MustParse(q.Small)
+		e := core.NewEngine(automaton.New(p))
+		cs := charstream.New(p)
+		var total, csTotal int64
+		for _, rec := range recs {
+			st, err := e.Run(rec, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", q.ID, err)
+			}
+			total += st.Matches
+			n, err := cs.Count(rec)
+			if err != nil {
+				t.Fatalf("%s charstream: %v", q.ID, err)
+			}
+			csTotal += n
+		}
+		if total == 0 {
+			t.Errorf("%s small: zero matches", q.ID)
+		}
+		if total != csTotal {
+			t.Errorf("%s small: jsonski %d, charstream %d", q.ID, total, csTotal)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package jsonski is a streaming JSONPath evaluator with bit-parallel
+// fast-forwarding, reproducing "JSONSki: Streaming Semi-structured Data
+// with Bit-Parallel Fast-Forwarding" (Jiang & Zhao, ASPLOS 2022).
+//
+// A compiled Query scans a JSON buffer in a single forward pass, emitting
+// every value the path selects, without building a parse tree or index.
+// Substructures that cannot affect the query — wrong-typed attributes,
+// unmatched values, object remainders after a match, out-of-range array
+// elements — are fast-forwarded using word-sized structural bitmaps, so
+// on typical path queries well over 95% of the input is never tokenized.
+//
+// Supported path syntax: $ (root), .name and ['name'] (child), [n]
+// (index), [m:n] (half-open range), [*] and .* (wildcards), and ..name /
+// ..* (descendant — the paper's stated future work). Descendant paths are
+// evaluated by a set-of-states NFA engine: as the paper observes (§5.1) a
+// descendant's level is unknown, so type-based fast-forwarding does not
+// apply below it; dead subtrees are still skipped bit-parallel.
+//
+//	q := jsonski.MustCompile("$.place.name")
+//	stats, err := q.Run(data, func(m jsonski.Match) {
+//	    fmt.Printf("%s\n", m.Value)
+//	})
+package jsonski
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/core"
+	"jsonski/internal/fastforward"
+	"jsonski/internal/jsonpath"
+)
+
+// Match is one value selected by the query. Value aliases the input
+// buffer — copy it if it must outlive the buffer.
+type Match struct {
+	// Start and End delimit the match in the input buffer.
+	Start, End int
+	// Value is input[Start:End]: the matched JSON value, whitespace
+	// trimmed (strings keep their quotes).
+	Value []byte
+	// Record is the index of the containing record for the RunRecords
+	// entry points, 0 for Run.
+	Record int
+}
+
+// Stats reports how a run spent its input, mirroring the paper's
+// fast-forward accounting (Table 6).
+type Stats struct {
+	// Matches is the number of values emitted.
+	Matches int64
+	// InputBytes is the total input length processed.
+	InputBytes int64
+	// SkippedBytes counts fast-forwarded bytes per group G1..G5.
+	SkippedBytes [5]int64
+}
+
+// FastForwardRatio is the fraction of input bytes that were
+// fast-forwarded over rather than parsed (paper Table 6, "Overall").
+func (s Stats) FastForwardRatio() float64 {
+	if s.InputBytes == 0 {
+		return 0
+	}
+	var t int64
+	for _, v := range s.SkippedBytes {
+		t += v
+	}
+	return float64(t) / float64(s.InputBytes)
+}
+
+// GroupRatio is the fraction of input bytes fast-forwarded by group g
+// (0-based: 0 ↔ G1 ... 4 ↔ G5).
+func (s Stats) GroupRatio(g int) float64 {
+	if s.InputBytes == 0 || g < 0 || g >= len(s.SkippedBytes) {
+		return 0
+	}
+	return float64(s.SkippedBytes[g]) / float64(s.InputBytes)
+}
+
+func (s *Stats) add(st core.Stats) {
+	s.Matches += st.Matches
+	s.InputBytes += st.InputBytes
+	for g := 0; g < int(fastforward.NumGroups); g++ {
+		s.SkippedBytes[g] += st.Skipped.SkippedBytes[g]
+	}
+}
+
+// merge folds another aggregate into s.
+func (s *Stats) merge(o Stats) {
+	s.Matches += o.Matches
+	s.InputBytes += o.InputBytes
+	for g := range s.SkippedBytes {
+		s.SkippedBytes[g] += o.SkippedBytes[g]
+	}
+}
+
+// runner is the common face of the evaluation engines: the DFA engine
+// with full fast-forwarding for linear paths, and the NFA engine for
+// paths containing the descendant operator.
+type runner interface {
+	Run(data []byte, emit core.EmitFunc) (core.Stats, error)
+}
+
+// Query is a compiled JSONPath expression. It is immutable and safe for
+// concurrent use; each concurrent evaluation draws a private engine from
+// an internal pool.
+type Query struct {
+	path *jsonpath.Path
+	aut  *automaton.Automaton
+	pool sync.Pool
+}
+
+// Compile parses and compiles a JSONPath expression.
+func Compile(expr string) (*Query, error) {
+	p, err := jsonpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{path: p}
+	if p.HasDescendant() {
+		// Validate once so pool.New cannot fail later.
+		if _, err := core.NewNFAEngine(p); err != nil {
+			return nil, err
+		}
+		q.pool.New = func() any {
+			e, _ := core.NewNFAEngine(p)
+			return runner(e)
+		}
+		return q, nil
+	}
+	q.aut = automaton.New(p)
+	q.pool.New = func() any { return runner(core.NewEngine(q.aut)) }
+	return q, nil
+}
+
+// MustCompile is Compile for statically known-good expressions; it panics
+// on error.
+func MustCompile(expr string) *Query {
+	q, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the source expression.
+func (q *Query) String() string { return q.path.String() }
+
+// Run streams a single JSON record (or buffer holding one record),
+// invoking fn for every match in document order. fn may be nil to only
+// count matches.
+func (q *Query) Run(data []byte, fn func(Match)) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	var emit core.EmitFunc
+	if fn != nil {
+		emit = func(s, en int) {
+			fn(Match{Start: s, End: en, Value: data[s:en]})
+		}
+	}
+	st, err := e.Run(data, emit)
+	var out Stats
+	out.add(st)
+	return out, err
+}
+
+// Count returns the number of matches in data.
+func (q *Query) Count(data []byte) (int64, error) {
+	st, err := q.Run(data, nil)
+	return st.Matches, err
+}
+
+// RunRecords streams a sequence of independent JSON records sequentially
+// with a single engine, invoking fn for each match. Match.Record carries
+// the record index.
+func (q *Query) RunRecords(records [][]byte, fn func(Match)) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	var out Stats
+	for i, rec := range records {
+		var emit core.EmitFunc
+		if fn != nil {
+			i, rec := i, rec
+			emit = func(s, en int) {
+				fn(Match{Start: s, End: en, Value: rec[s:en], Record: i})
+			}
+		}
+		st, err := e.Run(rec, emit)
+		out.add(st)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunRecordsParallel processes independent records with `workers`
+// goroutines (the paper's small-record task parallelism, Figure 12).
+// fn, when non-nil, is called concurrently from multiple goroutines and
+// must be safe for that. Records are claimed dynamically, so skewed
+// record sizes still balance. The first error, if any, is returned after
+// all workers drain.
+func (q *Query) RunRecordsParallel(records [][]byte, workers int, fn func(Match)) (Stats, error) {
+	if workers <= 1 || len(records) <= 1 {
+		return q.RunRecords(records, fn)
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		out    Stats
+		outErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := q.pool.Get().(runner)
+			defer q.pool.Put(e)
+			var local Stats
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(records) {
+					break
+				}
+				rec := records[i]
+				var emit core.EmitFunc
+				if fn != nil {
+					emit = func(s, en int) {
+						fn(Match{Start: s, End: en, Value: rec[s:en], Record: i})
+					}
+				}
+				st, err := e.Run(rec, emit)
+				local.add(st)
+				if err != nil {
+					mu.Lock()
+					if outErr == nil {
+						outErr = err
+					}
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			out.Matches += local.Matches
+			out.InputBytes += local.InputBytes
+			for g := range out.SkippedBytes {
+				out.SkippedBytes[g] += local.SkippedBytes[g]
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out, outErr
+}
+
+// All collects every match into a slice of copied values. Convenient for
+// small result sets; for large ones prefer Run with a streaming fn.
+func (q *Query) All(data []byte) ([][]byte, error) {
+	var out [][]byte
+	_, err := q.Run(data, func(m Match) {
+		v := make([]byte, len(m.Value))
+		copy(v, m.Value)
+		out = append(out, v)
+	})
+	return out, err
+}
+
+// RunParallel evaluates the query over one large record using `workers`
+// goroutines with speculative parallelism — the paper's stated future
+// work (§5.2, Table 3). The record's dominant top-level array is located
+// serially, its element boundaries are discovered by speculative
+// chunked bit-parallel scans (each chunk guesses its string state and is
+// patched at stitch time), and workers evaluate disjoint element ranges.
+//
+// fn may be called concurrently, and match order is unspecified.
+// Queries whose shape cannot be split this way (descendant paths, pure
+// child paths, wildcard-child prefixes) fall back to the serial engine.
+func (q *Query) RunParallel(data []byte, workers int, fn func(Match)) (Stats, error) {
+	if q.aut == nil || workers <= 1 {
+		// descendant paths have no automaton; serial evaluation
+		return q.Run(data, fn)
+	}
+	pe, err := core.NewParallelEngine(q.path, workers)
+	if err != nil {
+		return q.Run(data, fn)
+	}
+	var emit core.EmitFunc
+	if fn != nil {
+		emit = func(s, en int) {
+			fn(Match{Start: s, End: en, Value: data[s:en]})
+		}
+	}
+	st, err := pe.Run(data, emit)
+	var out Stats
+	out.add(st)
+	return out, err
+}

@@ -1,0 +1,277 @@
+package jsonski
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("$.."); err == nil {
+		t.Fatal("bare '..' should be rejected")
+	}
+	if _, err := Compile("nope"); err == nil {
+		t.Fatal("missing $ should be rejected")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile("bad")
+}
+
+func TestRunBasic(t *testing.T) {
+	q := MustCompile("$.place.name")
+	data := []byte(`{"coordinates":[1,2],"user":{"id":6},"place":{"name":"Manhattan","bounding_box":{"pos":[[1,2]]}}}`)
+	var got []string
+	st, err := q.Run(data, func(m Match) { got = append(got, string(m.Value)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{`"Manhattan"`}) {
+		t.Fatalf("got %q", got)
+	}
+	if st.Matches != 1 || st.InputBytes != int64(len(data)) {
+		t.Fatalf("st = %+v", st)
+	}
+	if st.FastForwardRatio() <= 0 {
+		t.Fatal("expected nonzero fast-forward ratio")
+	}
+}
+
+func TestMatchFields(t *testing.T) {
+	q := MustCompile("$.a")
+	data := []byte(`{"a": 42}`)
+	q.Run(data, func(m Match) {
+		if string(data[m.Start:m.End]) != string(m.Value) || string(m.Value) != "42" {
+			t.Fatalf("m = %+v", m)
+		}
+		if m.Record != 0 {
+			t.Fatalf("Record = %d", m.Record)
+		}
+	})
+}
+
+func TestCountAndAll(t *testing.T) {
+	q := MustCompile("$[*].v")
+	data := []byte(`[{"v":1},{"v":2},{"x":3},{"v":4}]`)
+	n, err := q.Count(data)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	vals, err := q.All(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || string(vals[0]) != "1" || string(vals[2]) != "4" {
+		t.Fatalf("vals = %q", vals)
+	}
+}
+
+func TestRunRecords(t *testing.T) {
+	q := MustCompile("$.v")
+	records := [][]byte{
+		[]byte(`{"v": "a"}`),
+		[]byte(`{"x": 0}`),
+		[]byte(`{"v": "c"}`),
+	}
+	var got []string
+	st, err := q.RunRecords(records, func(m Match) {
+		got = append(got, fmt.Sprintf("%d:%s", m.Record, m.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{`0:"a"`, `2:"c"`}) {
+		t.Fatalf("got %q", got)
+	}
+	if st.Matches != 2 {
+		t.Fatalf("st = %+v", st)
+	}
+}
+
+func TestRunRecordsParallel(t *testing.T) {
+	q := MustCompile("$.v")
+	const n = 500
+	records := make([][]byte, n)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf(`{"pad": [%d,%d], "v": %d}`, i, i, i))
+	}
+	var mu sync.Mutex
+	var got []int
+	st, err := q.RunRecordsParallel(records, 8, func(m Match) {
+		mu.Lock()
+		got = append(got, m.Record)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != n {
+		t.Fatalf("Matches = %d", st.Matches)
+	}
+	sort.Ints(got)
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("record %d missing (got[%d]=%d)", i, i, r)
+		}
+	}
+}
+
+func TestRunRecordsParallelFallsBackSerial(t *testing.T) {
+	q := MustCompile("$.v")
+	records := [][]byte{[]byte(`{"v":1}`)}
+	st, err := q.RunRecordsParallel(records, 16, nil)
+	if err != nil || st.Matches != 1 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestRunRecordsError(t *testing.T) {
+	q := MustCompile("$.a.b")
+	records := [][]byte{
+		[]byte(`{"a": {"b": 1}}`),
+		[]byte(`{"a": {`), // truncated
+	}
+	if _, err := q.RunRecords(records, nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := q.RunRecordsParallel(append(records, records[0]), 4, nil); err == nil {
+		t.Fatal("expected error from parallel run")
+	}
+}
+
+func TestConcurrentQueriesShareCompiled(t *testing.T) {
+	q := MustCompile("$.x[*]")
+	data := []byte(`{"x": [1,2,3]}`)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				n, err := q.Count(data)
+				if err != nil || n != 3 {
+					t.Errorf("n=%d err=%v", n, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQueryString(t *testing.T) {
+	if MustCompile("$.a[1:2]").String() != "$.a[1:2]" {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	var s Stats
+	if s.FastForwardRatio() != 0 || s.GroupRatio(0) != 0 {
+		t.Fatal("zero stats should have zero ratios")
+	}
+	s.InputBytes = 100
+	s.SkippedBytes[3] = 50
+	if s.GroupRatio(3) != 0.5 || s.FastForwardRatio() != 0.5 {
+		t.Fatal("ratio math broken")
+	}
+	if s.GroupRatio(-1) != 0 || s.GroupRatio(5) != 0 {
+		t.Fatal("out-of-range group should be 0")
+	}
+}
+
+func ExampleQuery_Run() {
+	q := MustCompile("$.user.name")
+	data := []byte(`{"id": 1, "user": {"name": "ada", "karma": 9000}}`)
+	q.Run(data, func(m Match) {
+		fmt.Println(string(m.Value))
+	})
+	// Output: "ada"
+}
+
+func TestDescendantQueries(t *testing.T) {
+	q := MustCompile("$..name")
+	data := []byte(`{"a": {"name": "x"}, "name": "y", "list": [{"name": "z"}]}`)
+	var got []string
+	st, err := q.Run(data, func(m Match) { got = append(got, string(m.Value)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 3 || len(got) != 3 {
+		t.Fatalf("matches=%d got=%q", st.Matches, got)
+	}
+	// descendant queries work through every entry point
+	n, err := q.Count(data)
+	if err != nil || n != 3 {
+		t.Fatalf("Count=%d err=%v", n, err)
+	}
+	recs := [][]byte{data, data}
+	stp, err := q.RunRecordsParallel(recs, 2, nil)
+	if err != nil || stp.Matches != 6 {
+		t.Fatalf("parallel st=%+v err=%v", stp, err)
+	}
+}
+
+func TestDescendantRejectedInSets(t *testing.T) {
+	if _, err := CompileSet("$.ok", "$..nope"); err == nil {
+		t.Fatal("descendant in set should be rejected")
+	}
+}
+
+func TestCompileRejectsOverlongDescendantPath(t *testing.T) {
+	expr := "$..a" + strings.Repeat(".b", 70)
+	if _, err := Compile(expr); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id": %d, "x": "pad,]} %d"}`, i, i)
+	}
+	sb.WriteByte(']')
+	data := []byte(sb.String())
+	q := MustCompile("$[*].id")
+	serial, err := q.Count(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	st, err := q.RunParallel(data, 8, func(m Match) {
+		mu.Lock()
+		got = append(got, string(m.Value))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != serial || int64(len(got)) != serial {
+		t.Fatalf("parallel %d serial %d", st.Matches, serial)
+	}
+	// fallback paths
+	q2 := MustCompile("$.a.b")
+	n, err := q2.RunParallel([]byte(`{"a":{"b":1}}`), 8, nil)
+	if err != nil || n.Matches != 1 {
+		t.Fatalf("fallback st=%+v err=%v", n, err)
+	}
+	q3 := MustCompile("$..id")
+	n, err = q3.RunParallel(data, 8, nil)
+	if err != nil || n.Matches != serial {
+		t.Fatalf("descendant fallback st=%+v err=%v", n, err)
+	}
+}

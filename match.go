@@ -1,0 +1,208 @@
+package jsonski
+
+import (
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Kind classifies a matched JSON value by its first byte.
+type Kind uint8
+
+// Match value kinds.
+const (
+	KindObject Kind = iota
+	KindArray
+	KindString
+	KindNumber
+	KindBool
+	KindNull
+	KindInvalid
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	case KindString:
+		return "string"
+	case KindNumber:
+		return "number"
+	case KindBool:
+		return "bool"
+	case KindNull:
+		return "null"
+	default:
+		return "invalid"
+	}
+}
+
+// Kind returns the matched value's kind.
+func (m Match) Kind() Kind {
+	if len(m.Value) == 0 {
+		return KindInvalid
+	}
+	switch m.Value[0] {
+	case '{':
+		return KindObject
+	case '[':
+		return KindArray
+	case '"':
+		return KindString
+	case 't', 'f':
+		return KindBool
+	case 'n':
+		return KindNull
+	default:
+		return KindNumber
+	}
+}
+
+// String decodes a string match into Go string form, resolving escapes.
+// Non-string values are returned as their raw text.
+func (m Match) String() string {
+	if m.Kind() != KindString {
+		return string(m.Value)
+	}
+	s, err := Unquote(m.Value)
+	if err != nil {
+		return string(m.Value)
+	}
+	return s
+}
+
+// Float parses a number match.
+func (m Match) Float() (float64, error) {
+	if m.Kind() != KindNumber {
+		return 0, fmt.Errorf("jsonski: value %.20q is not a number", m.Value)
+	}
+	return strconv.ParseFloat(string(m.Value), 64)
+}
+
+// Int parses an integer number match.
+func (m Match) Int() (int64, error) {
+	if m.Kind() != KindNumber {
+		return 0, fmt.Errorf("jsonski: value %.20q is not a number", m.Value)
+	}
+	return strconv.ParseInt(string(m.Value), 10, 64)
+}
+
+// Bool parses a true/false match.
+func (m Match) Bool() (bool, error) {
+	switch string(m.Value) {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("jsonski: value %.20q is not a bool", m.Value)
+}
+
+// IsNull reports whether the match is the JSON null literal.
+func (m Match) IsNull() bool { return string(m.Value) == "null" }
+
+// Unquote decodes a quoted JSON string value (including the surrounding
+// quotes) into its Go string form, resolving every escape sequence,
+// including surrogate-paired \uXXXX escapes.
+func Unquote(v []byte) (string, error) {
+	if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+		return "", fmt.Errorf("jsonski: not a quoted string: %.20q", v)
+	}
+	body := v[1 : len(v)-1]
+	// Fast path: no escapes.
+	hasEscape := false
+	for _, c := range body {
+		if c == '\\' {
+			hasEscape = true
+			break
+		}
+	}
+	if !hasEscape {
+		return string(body), nil
+	}
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("jsonski: dangling escape in %.20q", v)
+		}
+		switch body[i] {
+		case '"':
+			out = append(out, '"')
+		case '\\':
+			out = append(out, '\\')
+		case '/':
+			out = append(out, '/')
+		case 'b':
+			out = append(out, '\b')
+		case 'f':
+			out = append(out, '\f')
+		case 'n':
+			out = append(out, '\n')
+		case 'r':
+			out = append(out, '\r')
+		case 't':
+			out = append(out, '\t')
+		case 'u':
+			r, n, err := decodeUnicodeEscape(body[i-1:])
+			if err != nil {
+				return "", err
+			}
+			out = utf8.AppendRune(out, r)
+			i += n - 2 // consumed n bytes starting at the backslash
+		default:
+			return "", fmt.Errorf("jsonski: invalid escape \\%c", body[i])
+		}
+	}
+	return string(out), nil
+}
+
+// decodeUnicodeEscape decodes \uXXXX (optionally a surrogate pair)
+// starting at b[0] == '\\'. It returns the rune and how many input bytes
+// the escape spans.
+func decodeUnicodeEscape(b []byte) (rune, int, error) {
+	hex4 := func(s []byte) (rune, bool) {
+		var r rune
+		for _, d := range s {
+			r <<= 4
+			switch {
+			case d >= '0' && d <= '9':
+				r |= rune(d - '0')
+			case d >= 'a' && d <= 'f':
+				r |= rune(d-'a') + 10
+			case d >= 'A' && d <= 'F':
+				r |= rune(d-'A') + 10
+			default:
+				return 0, false
+			}
+		}
+		return r, true
+	}
+	if len(b) < 6 {
+		return 0, 0, fmt.Errorf("jsonski: truncated unicode escape")
+	}
+	r, ok := hex4(b[2:6])
+	if !ok {
+		return 0, 0, fmt.Errorf("jsonski: bad unicode escape %q", b[:6])
+	}
+	if utf16.IsSurrogate(r) {
+		if len(b) >= 12 && b[6] == '\\' && b[7] == 'u' {
+			if r2, ok := hex4(b[8:12]); ok {
+				if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+					return dec, 12, nil
+				}
+			}
+		}
+		return utf8.RuneError, 6, nil
+	}
+	return r, 6, nil
+}

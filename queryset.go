@@ -1,0 +1,91 @@
+package jsonski
+
+import (
+	"sync"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/core"
+	"jsonski/internal/jsonpath"
+)
+
+// QuerySet evaluates several compiled path queries in a single streaming
+// pass over the input. The traversal is shared; a substructure is
+// fast-forwarded only when every query that is still live agrees it is
+// irrelevant, so a set of related queries costs far less than running
+// them one by one.
+//
+// A QuerySet is immutable and safe for concurrent use.
+type QuerySet struct {
+	exprs []string
+	auts  []*automaton.Automaton
+	pool  sync.Pool
+}
+
+// CompileSet parses and compiles all expressions. The query index passed
+// to callbacks is the position in exprs.
+func CompileSet(exprs ...string) (*QuerySet, error) {
+	if len(exprs) == 0 {
+		return nil, &jsonpath.ParseError{Msg: "empty query set"}
+	}
+	auts := make([]*automaton.Automaton, len(exprs))
+	for i, expr := range exprs {
+		p, err := jsonpath.Parse(expr)
+		if err != nil {
+			return nil, err
+		}
+		if p.HasDescendant() {
+			return nil, &jsonpath.ParseError{Query: expr,
+				Msg: "descendant steps are not supported in query sets"}
+		}
+		auts[i] = automaton.New(p)
+	}
+	qs := &QuerySet{exprs: append([]string(nil), exprs...), auts: auts}
+	qs.pool.New = func() any { return core.NewMultiEngine(qs.auts) }
+	return qs, nil
+}
+
+// MustCompileSet is CompileSet for statically known-good expressions.
+func MustCompileSet(exprs ...string) *QuerySet {
+	qs, err := CompileSet(exprs...)
+	if err != nil {
+		panic(err)
+	}
+	return qs
+}
+
+// Len returns the number of queries in the set.
+func (qs *QuerySet) Len() int { return len(qs.exprs) }
+
+// Expr returns the i-th query expression.
+func (qs *QuerySet) Expr(i int) string { return qs.exprs[i] }
+
+// SetMatch is one match produced by a QuerySet run.
+type SetMatch struct {
+	// Query is the index of the matching expression in the set.
+	Query int
+	Match
+}
+
+// Run evaluates all queries over one record in a single pass, invoking
+// fn for every match of every query in document order.
+func (qs *QuerySet) Run(data []byte, fn func(SetMatch)) (Stats, error) {
+	e := qs.pool.Get().(*core.MultiEngine)
+	defer qs.pool.Put(e)
+	var emit core.MultiEmitFunc
+	if fn != nil {
+		emit = func(query, s, en int) {
+			fn(SetMatch{Query: query, Match: Match{Start: s, End: en, Value: data[s:en]}})
+		}
+	}
+	st, err := e.Run(data, emit)
+	var out Stats
+	out.add(st)
+	return out, err
+}
+
+// Counts returns the number of matches per query.
+func (qs *QuerySet) Counts(data []byte) ([]int64, error) {
+	counts := make([]int64, len(qs.exprs))
+	_, err := qs.Run(data, func(m SetMatch) { counts[m.Query]++ })
+	return counts, err
+}

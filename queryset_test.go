@@ -1,0 +1,206 @@
+package jsonski
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCompileSetErrors(t *testing.T) {
+	if _, err := CompileSet(); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if _, err := CompileSet("$.ok", "$..bad"); err == nil {
+		t.Fatal("bad member should error")
+	}
+}
+
+func TestMustCompileSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompileSet("nope")
+}
+
+func TestQuerySetBasic(t *testing.T) {
+	qs := MustCompileSet("$.user.name", "$.user.id", "$.tags[0]")
+	data := []byte(`{"user": {"name": "ada", "id": 7, "x": 1}, "tags": ["a", "b"], "pad": {"z": 0}}`)
+	got := map[int][]string{}
+	st, err := qs.Run(data, func(m SetMatch) {
+		got[m.Query] = append(got[m.Query], string(m.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 3 {
+		t.Fatalf("matches = %d", st.Matches)
+	}
+	want := map[int][]string{0: {`"ada"`}, 1: {`7`}, 2: {`"a"`}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if qs.Len() != 3 || qs.Expr(1) != "$.user.id" {
+		t.Fatal("metadata accessors broken")
+	}
+}
+
+func TestQuerySetRootQuery(t *testing.T) {
+	qs := MustCompileSet("$", "$.a")
+	data := []byte(`{"a": 1}`)
+	counts, err := qs.Counts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestQuerySetSharedPrefix(t *testing.T) {
+	qs := MustCompileSet("$.a.b", "$.a.c", "$.a.b") // duplicate allowed
+	data := []byte(`{"a": {"b": 1, "c": 2, "d": 3}}`)
+	counts, err := qs.Counts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(counts, []int64{1, 1, 1}) {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestQuerySetWildcards(t *testing.T) {
+	qs := MustCompileSet("$[*].v", "$[1:3].w", "$[0]")
+	data := []byte(`[{"v":1,"w":9},{"v":2,"w":8},{"v":3,"w":7},{"v":4}]`)
+	counts, err := qs.Counts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(counts, []int64{4, 2, 1}) {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestQuerySetMatchesIndividualRuns is the differential backbone: a set
+// run must produce exactly what the member queries produce alone.
+func TestQuerySetMatchesIndividualRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2468))
+	sets := [][]string{
+		{"$.a", "$.b"},
+		{"$.a.b", "$.a[*]", "$.name"},
+		{"$[*].id", "$[0:2]", "$[*].a.name"},
+		{"$.items[*].v", "$.items[1:3]", "$.v", "$"},
+		{"$.b[*].c", "$.c[0]", "$.a.b"},
+	}
+	for trial := 0; trial < 200; trial++ {
+		doc := genDocForSet(rng, 5)
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs := sets[trial%len(sets)]
+		qs := MustCompileSet(exprs...)
+		got := make([][]string, len(exprs))
+		if _, err := qs.Run(enc, func(m SetMatch) {
+			got[m.Query] = append(got[m.Query], string(m.Value))
+		}); err != nil {
+			t.Fatalf("trial %d: %v\ndoc: %s", trial, err, enc)
+		}
+		for qi, expr := range exprs {
+			q := MustCompile(expr)
+			var want []string
+			if _, err := q.Run(enc, func(m Match) {
+				want = append(want, string(m.Value))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[qi], want) {
+				t.Fatalf("trial %d query %q:\nset run: %q\nsolo run: %q\ndoc: %s",
+					trial, expr, got[qi], want, enc)
+			}
+		}
+	}
+}
+
+func genDocForSet(rng *rand.Rand, depth int) any {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return rng.Intn(1000)
+		case 1:
+			return "s" + strings.Repeat(`x{}[]:,"`, rng.Intn(3))
+		case 2:
+			return true
+		default:
+			return nil
+		}
+	}
+	if rng.Intn(2) == 0 {
+		keys := []string{"a", "b", "c", "id", "name", "items", "v"}
+		m := map[string]any{}
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			m[keys[rng.Intn(len(keys))]] = genDocForSet(rng, depth-1)
+		}
+		return m
+	}
+	arr := make([]any, 0, 4)
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		arr = append(arr, genDocForSet(rng, depth-1))
+	}
+	return arr
+}
+
+func TestQuerySetConcurrent(t *testing.T) {
+	qs := MustCompileSet("$.a", "$.b[*]")
+	data := []byte(`{"a": 1, "b": [2, 3]}`)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				counts, err := qs.Counts(data)
+				if err != nil {
+					done <- err
+					return
+				}
+				if counts[0] != 1 || counts[1] != 2 {
+					done <- fmt.Errorf("counts = %v", counts)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuerySetFastForwardStillHigh(t *testing.T) {
+	qs := MustCompileSet("$.mt.vw.co[*].nm", "$.mt.id")
+	var sb strings.Builder
+	sb.WriteString(`{"mt": {"id": "x", "vw": {"co": [{"nm": "a"}, {"nm": "b"}]}}, "dt": [`)
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", i, i)
+	}
+	sb.WriteString(`]}`)
+	data := []byte(sb.String())
+	st, err := qs.Run(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 3 {
+		t.Fatalf("matches = %d", st.Matches)
+	}
+	if st.FastForwardRatio() < 0.9 {
+		t.Errorf("set run fast-forward ratio = %.3f", st.FastForwardRatio())
+	}
+}

@@ -1,0 +1,132 @@
+package jsonski
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"sync"
+)
+
+// RunReader streams newline-delimited JSON records from r, evaluating the
+// query against each record as soon as its line is read. Blank lines are
+// skipped. Match.Value aliases an internal per-record buffer that remains
+// valid only for the duration of the callback.
+//
+// This is the record-sequence scenario of the paper (Figures 11 and 12)
+// lifted from preloaded buffers to a true input stream; memory use is
+// bounded by the largest single record.
+func (q *Query) RunReader(r io.Reader, fn func(Match)) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out Stats
+	recno := 0
+	for {
+		line, err := readLine(br)
+		if len(line) > 0 {
+			var emit func(s, en int)
+			if fn != nil {
+				i := recno
+				rec := line
+				emit = func(s, en int) {
+					fn(Match{Start: s, End: en, Value: rec[s:en], Record: i})
+				}
+			}
+			st, rerr := e.Run(line, emit)
+			out.add(st)
+			if rerr != nil {
+				return out, rerr
+			}
+			recno++
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// readLine reads one newline-terminated record, handling lines longer
+// than the buffered reader's internal buffer and trimming whitespace.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	return bytes.TrimSpace(line), err
+}
+
+// RunReaderParallel is RunReader with a pool of `workers` goroutines,
+// each evaluating whole records (the paper's task-level parallelism).
+// fn may be invoked concurrently. Record indexes reflect input order;
+// callback order is unspecified.
+func (q *Query) RunReaderParallel(r io.Reader, workers int, fn func(Match)) (Stats, error) {
+	if workers <= 1 {
+		return q.RunReader(r, fn)
+	}
+	type task struct {
+		rec []byte
+		i   int
+	}
+	ch := make(chan task, workers*2)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		out    Stats
+		outErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := q.pool.Get().(runner)
+			defer q.pool.Put(e)
+			var local Stats
+			for t := range ch {
+				var emit func(s, en int)
+				if fn != nil {
+					t := t
+					emit = func(s, en int) {
+						fn(Match{Start: s, End: en, Value: t.rec[s:en], Record: t.i})
+					}
+				}
+				st, err := e.Run(t.rec, emit)
+				local.add(st)
+				if err != nil {
+					mu.Lock()
+					if outErr == nil {
+						outErr = err
+					}
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			out.merge(local)
+			mu.Unlock()
+		}()
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	recno := 0
+	var readErr error
+	for {
+		line, err := readLine(br)
+		if len(line) > 0 {
+			// ReadBytes allocates a fresh slice per line, so records
+			// can safely cross goroutines.
+			ch <- task{rec: line, i: recno}
+			recno++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if outErr == nil {
+		outErr = readErr
+	}
+	return out, outErr
+}

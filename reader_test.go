@@ -1,0 +1,120 @@
+package jsonski
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func ndjsonInput(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `{"pad": "%s", "v": %d}`, strings.Repeat("x", i%40), i)
+		sb.WriteByte('\n')
+		if i%7 == 0 {
+			sb.WriteString("\n") // blank lines are skipped
+		}
+	}
+	return sb.String()
+}
+
+func TestRunReader(t *testing.T) {
+	q := MustCompile("$.v")
+	var got []string
+	st, err := q.RunReader(strings.NewReader(ndjsonInput(50)), func(m Match) {
+		got = append(got, fmt.Sprintf("%d:%s", m.Record, m.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 50 || len(got) != 50 {
+		t.Fatalf("matches = %d, got %d values", st.Matches, len(got))
+	}
+	if got[0] != "0:0" || got[49] != "49:49" {
+		t.Fatalf("got[0]=%q got[49]=%q", got[0], got[49])
+	}
+}
+
+func TestRunReaderNoTrailingNewline(t *testing.T) {
+	q := MustCompile("$.v")
+	in := `{"v": 1}` + "\n" + `{"v": 2}` // no trailing \n
+	st, err := q.RunReader(strings.NewReader(in), nil)
+	if err != nil || st.Matches != 2 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestRunReaderLongLines(t *testing.T) {
+	q := MustCompile("$.v")
+	big := strings.Repeat("y", 200000)
+	in := fmt.Sprintf(`{"pad": "%s", "v": 9}%s{"v": 10}`, big, "\n")
+	st, err := q.RunReader(strings.NewReader(in), nil)
+	if err != nil || st.Matches != 2 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestRunReaderMalformedRecord(t *testing.T) {
+	q := MustCompile("$.v.x")
+	in := `{"v": {"x": 1}}` + "\n" + `{"v": {` + "\n"
+	if _, err := q.RunReader(strings.NewReader(in), nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunReaderParallel(t *testing.T) {
+	q := MustCompile("$.v")
+	const n = 300
+	var mu sync.Mutex
+	var recs []int
+	st, err := q.RunReaderParallel(strings.NewReader(ndjsonInput(n)), 8, func(m Match) {
+		mu.Lock()
+		recs = append(recs, m.Record)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != n {
+		t.Fatalf("matches = %d", st.Matches)
+	}
+	sort.Ints(recs)
+	for i, r := range recs {
+		if r != i {
+			t.Fatalf("missing record %d", i)
+		}
+	}
+}
+
+func TestRunReaderParallelSerialFallback(t *testing.T) {
+	q := MustCompile("$.v")
+	st, err := q.RunReaderParallel(strings.NewReader(`{"v":1}`), 1, nil)
+	if err != nil || st.Matches != 1 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+type failingReader struct{ data io.Reader }
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	n, err := f.data.Read(p)
+	if err == io.EOF {
+		return n, fmt.Errorf("socket reset")
+	}
+	return n, err
+}
+
+func TestRunReaderPropagatesReadError(t *testing.T) {
+	q := MustCompile("$.v")
+	_, err := q.RunReader(&failingReader{strings.NewReader("{\"v\":1}\n")}, nil)
+	if err == nil || !strings.Contains(err.Error(), "socket reset") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = q.RunReaderParallel(&failingReader{strings.NewReader("{\"v\":1}\n")}, 4, nil)
+	if err == nil {
+		t.Fatal("parallel read error not propagated")
+	}
+}

@@ -1,0 +1,195 @@
+package jsonski
+
+import (
+	"fmt"
+
+	"jsonski/internal/stream"
+)
+
+// Valid reports whether data is a single syntactically well-formed JSON
+// value (surrounded by optional whitespace).
+//
+// Fast-forwarded query evaluation deliberately skips full validation
+// (paper §3.3): a malformed construct inside a skipped substructure goes
+// unnoticed. When inputs are untrusted, run Valid first — it walks every
+// token using the same bit-parallel tokenizer, with none of the matching
+// machinery.
+func Valid(data []byte) bool {
+	return Validate(data) == nil
+}
+
+// Validate is Valid with a positioned error describing the first
+// syntactic problem found.
+func Validate(data []byte) error {
+	s := stream.New(data)
+	b, ok := s.SkipWS()
+	if !ok {
+		return fmt.Errorf("jsonski: empty input")
+	}
+	if err := validateValue(s, b, 0); err != nil {
+		return err
+	}
+	if b, ok := s.SkipWS(); ok {
+		return fmt.Errorf("jsonski: trailing %q at %d", b, s.Pos())
+	}
+	return nil
+}
+
+// maxValidateDepth bounds recursion so adversarial nesting cannot
+// exhaust the goroutine stack.
+const maxValidateDepth = 10000
+
+func validateValue(s *stream.Stream, b byte, depth int) error {
+	if depth > maxValidateDepth {
+		return fmt.Errorf("jsonski: nesting deeper than %d at %d", maxValidateDepth, s.Pos())
+	}
+	switch b {
+	case '{':
+		return validateObject(s, depth)
+	case '[':
+		return validateArray(s, depth)
+	case '"':
+		return s.SkipString()
+	default:
+		return validatePrimitive(s)
+	}
+}
+
+func validateObject(s *stream.Stream, depth int) error {
+	s.Advance(1) // '{'
+	first := true
+	for {
+		b, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("jsonski: unterminated object at %d", s.Pos())
+		}
+		if b == '}' && first {
+			s.Advance(1)
+			return nil
+		}
+		if !first {
+			switch b {
+			case '}':
+				s.Advance(1)
+				return nil
+			case ',':
+				s.Advance(1)
+				if b, ok = s.SkipWS(); !ok {
+					return fmt.Errorf("jsonski: unterminated object at %d", s.Pos())
+				}
+			default:
+				return fmt.Errorf("jsonski: expected ',' or '}' at %d, got %q", s.Pos(), b)
+			}
+		}
+		first = false
+		if b != '"' {
+			return fmt.Errorf("jsonski: expected attribute name at %d, got %q", s.Pos(), b)
+		}
+		if _, err := s.ReadString(); err != nil {
+			return err
+		}
+		if err := s.Expect(':'); err != nil {
+			return err
+		}
+		vb, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("jsonski: attribute without value at %d", s.Pos())
+		}
+		if err := validateValue(s, vb, depth+1); err != nil {
+			return err
+		}
+	}
+}
+
+func validateArray(s *stream.Stream, depth int) error {
+	s.Advance(1) // '['
+	first := true
+	for {
+		b, ok := s.SkipWS()
+		if !ok {
+			return fmt.Errorf("jsonski: unterminated array at %d", s.Pos())
+		}
+		if b == ']' && first {
+			s.Advance(1)
+			return nil
+		}
+		if !first {
+			switch b {
+			case ']':
+				s.Advance(1)
+				return nil
+			case ',':
+				s.Advance(1)
+				if b, ok = s.SkipWS(); !ok {
+					return fmt.Errorf("jsonski: unterminated array at %d", s.Pos())
+				}
+			default:
+				return fmt.Errorf("jsonski: expected ',' or ']' at %d, got %q", s.Pos(), b)
+			}
+		}
+		first = false
+		if err := validateValue(s, b, depth+1); err != nil {
+			return err
+		}
+	}
+}
+
+// validatePrimitive checks number/true/false/null token shapes.
+func validatePrimitive(s *stream.Stream) error {
+	start, end := s.SkipPrimitive()
+	tok := s.Data()[start:end]
+	if len(tok) == 0 {
+		return fmt.Errorf("jsonski: empty value at %d", start)
+	}
+	switch string(tok) {
+	case "true", "false", "null":
+		return nil
+	}
+	if !validNumber(tok) {
+		return fmt.Errorf("jsonski: invalid token %q at %d", tok, start)
+	}
+	return nil
+}
+
+// validNumber checks RFC 8259 number grammar.
+func validNumber(b []byte) bool {
+	i := 0
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	// int part
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	// frac
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	// exp
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(b)
+}

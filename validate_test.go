@@ -1,0 +1,103 @@
+package jsonski
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestValidAccepts(t *testing.T) {
+	good := []string{
+		`{}`, `[]`, `0`, `-0`, `1.5`, `-2.5e10`, `1E+2`, `"s"`, `true`,
+		`false`, `null`, `  {"a": [1, {"b": null}], "c": "x"}  `,
+		`[[[[[]]]]]`, `{"k": "v \" with escape"}`, `"\u0041"`,
+	}
+	for _, in := range good {
+		if err := Validate([]byte(in)); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", in, err)
+		}
+		if !Valid([]byte(in)) {
+			t.Errorf("Valid(%q) = false", in)
+		}
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	bad := []string{
+		``, `   `, `{`, `}`, `[`, `]`, `{"a"}`, `{"a":}`, `{"a":1,}`,
+		`[1,]`, `[1 2]`, `{"a":1 "b":2}`, `{a:1}`, `tru`, `nul`,
+		`01`, `1.`, `.5`, `1e`, `+1`, `--1`, `"unterminated`,
+		`{"a": 1} trailing`, `[1][2]`, `{"a" 1}`, `{123: 4}`,
+	}
+	for _, in := range bad {
+		if Valid([]byte(in)) {
+			t.Errorf("Valid(%q) = true, want false", in)
+		}
+	}
+}
+
+func TestValidAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(14142))
+	alphabet := []string{
+		`{`, `}`, `[`, `]`, `:`, `,`, `"a"`, `1`, `true`, `null`, ` `,
+		`"s\"x"`, `-2.5`, `1e9`,
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var sb strings.Builder
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			sb.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		in := []byte(sb.String())
+		got := Valid(in)
+		want := json.Valid(in)
+		if got != want {
+			t.Fatalf("Valid(%q) = %v, stdlib %v", in, got, want)
+		}
+	}
+}
+
+func TestValidOnGeneratedDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5555))
+	for trial := 0; trial < 100; trial++ {
+		doc := genDocForSet(rng, 5)
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Valid(enc) {
+			t.Fatalf("Valid rejected stdlib output: %s", enc)
+		}
+		pretty, _ := json.MarshalIndent(doc, "", "  ")
+		if !Valid(pretty) {
+			t.Fatalf("Valid rejected indented output: %s", pretty)
+		}
+	}
+}
+
+func TestValidDepthBound(t *testing.T) {
+	deep := strings.Repeat("[", 20001) + strings.Repeat("]", 20001)
+	if Valid([]byte(deep)) {
+		t.Fatal("expected depth bound to trigger")
+	}
+	ok := strings.Repeat("[", 500) + "1" + strings.Repeat("]", 500)
+	if !Valid([]byte(ok)) {
+		t.Fatal("moderate nesting should validate")
+	}
+}
+
+func TestValidNumberGrammar(t *testing.T) {
+	good := []string{"0", "-0", "7", "10", "1.0", "-1.25", "1e5", "1E-5", "1.5e+10", "0.1"}
+	bad := []string{"", "-", "00", "01", "1.", ".1", "1e", "1e+", "--2", "+3", "1.2.3", "0x1f", "NaN", "Infinity"}
+	for _, s := range good {
+		if !validNumber([]byte(s)) {
+			t.Errorf("validNumber(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if validNumber([]byte(s)) {
+			t.Errorf("validNumber(%q) = true", s)
+		}
+	}
+}
