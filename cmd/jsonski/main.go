@@ -7,18 +7,23 @@
 //	cat file.json | jsonski -q '$[*].text' -count -stats
 //
 // With -records the input is treated as newline-delimited JSON (one
-// record per line) and -workers enables parallel record processing.
+// record per line), streamed rather than slurped, and -workers enables
+// parallel record processing. Malformed input exits non-zero with the
+// offending record named; Ctrl-C cancels cleanly between records.
 package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
 	"jsonski"
@@ -33,13 +38,15 @@ func main() {
 		workers = flag.Int("workers", 1, "parallel workers for -records (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*query, *count, *stats, *records, *workers, flag.Args()); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *query, *count, *stats, *records, *workers, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonski:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query string, countOnly, showStats, records bool, workers int, args []string) error {
+func run(ctx context.Context, query string, countOnly, showStats, records bool, workers int, args []string) error {
 	if query == "" {
 		return fmt.Errorf("missing -q query")
 	}
@@ -47,21 +54,22 @@ func run(query string, countOnly, showStats, records bool, workers int, args []s
 	if err != nil {
 		return err
 	}
-	var data []byte
+	var in io.Reader
 	switch len(args) {
 	case 0:
-		data, err = io.ReadAll(bufio.NewReader(os.Stdin))
+		in = os.Stdin
 	case 1:
-		data, err = os.ReadFile(args[0])
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
 	default:
 		return fmt.Errorf("expected at most one input file, got %d", len(args))
 	}
-	if err != nil {
-		return err
-	}
 
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 	var emit func(m jsonski.Match)
 	var mu sync.Mutex
 	if !countOnly {
@@ -76,22 +84,32 @@ func run(query string, countOnly, showStats, records bool, workers int, args []s
 	start := time.Now()
 	var st jsonski.Stats
 	if records {
+		// Stream records instead of slurping the file: memory stays
+		// bounded by the largest record, and ctx aborts between records.
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		var recs [][]byte
-		for _, line := range bytes.Split(data, []byte{'\n'}) {
-			if len(bytes.TrimSpace(line)) > 0 {
-				recs = append(recs, line)
-			}
-		}
-		st, err = q.RunRecordsParallel(recs, workers, emit)
+		st, err = q.RunReaderParallelContext(ctx, in, workers, emit)
 	} else {
+		var data []byte
+		data, err = io.ReadAll(bufio.NewReader(in))
+		if err != nil {
+			return fmt.Errorf("reading input: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		st, err = q.Run(data, emit)
 	}
 	elapsed := time.Since(start)
 	if err != nil {
-		return err
+		// Matches already streamed stay on stdout; flush them so the
+		// partial output is usable, then fail loudly.
+		out.Flush()
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted after %d matches", st.Matches)
+		}
+		return fmt.Errorf("query failed: %w", err)
 	}
 	if countOnly {
 		fmt.Fprintln(out, st.Matches)
@@ -104,6 +122,9 @@ func run(query string, countOnly, showStats, records bool, workers int, args []s
 		for g := 0; g < 5; g++ {
 			fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%\n", g+1, st.GroupRatio(g)*100)
 		}
+	}
+	if err := out.Flush(); err != nil {
+		return fmt.Errorf("writing output: %w", err)
 	}
 	return nil
 }

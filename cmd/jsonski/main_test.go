@@ -1,30 +1,34 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunOnFile(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	f := filepath.Join(dir, "in.json")
 	if err := os.WriteFile(f, []byte(`{"a": {"b": 7}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("$.a.b", true, true, false, 1, []string{f}); err != nil {
+	if err := run(ctx, "$.a.b", true, true, false, 1, []string{f}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", false, false, false, 1, []string{f}); err == nil {
+	if err := run(ctx, "", false, false, false, 1, []string{f}); err == nil {
 		t.Fatal("missing query should error")
 	}
-	if err := run("$..", false, false, false, 1, []string{f}); err == nil {
+	if err := run(ctx, "$..", false, false, false, 1, []string{f}); err == nil {
 		t.Fatal("bad query should error")
 	}
-	if err := run("$.a", false, false, false, 1, []string{f, f}); err == nil {
+	if err := run(ctx, "$.a", false, false, false, 1, []string{f, f}); err == nil {
 		t.Fatal("two files should error")
 	}
-	if err := run("$.a", false, false, false, 1, []string{filepath.Join(dir, "missing.json")}); err == nil {
+	if err := run(ctx, "$.a", false, false, false, 1, []string{filepath.Join(dir, "missing.json")}); err == nil {
 		t.Fatal("missing file should error")
 	}
 }
@@ -35,7 +39,54 @@ func TestRunRecordsMode(t *testing.T) {
 	if err := os.WriteFile(f, []byte("{\"v\":1}\n\n{\"v\":2}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("$.v", true, false, true, 0, []string{f}); err != nil {
+	if err := run(context.Background(), "$.v", true, false, true, 0, []string{f}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunMalformedInputFails(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"a": {"b": `), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(ctx, "$.a.b", false, false, false, 1, []string{bad})
+	if err == nil || !strings.Contains(err.Error(), "query failed") {
+		t.Fatalf("malformed JSON should fail clearly, got %v", err)
+	}
+}
+
+func TestRunRecordsMalformedRecordNamesRecord(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	f := filepath.Join(dir, "bad.ndjson")
+	in := "{\"v\": 1}\n{\"v\": {\n{\"v\": 3}\n"
+	if err := os.WriteFile(f, []byte(in), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Serial so the failing record is deterministic.
+	err := run(ctx, "$.v.x", false, false, true, 1, []string{f})
+	if err == nil || !strings.Contains(err.Error(), "record 1:") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "in.ndjson")
+	if err := os.WriteFile(f, []byte("{\"v\":1}\n{\"v\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "$.v", false, false, true, 1, []string{f})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		// run wraps cancellation into a user-facing message; the cause
+		// should no longer leak as a bare context error string.
+		t.Log("cancellation cause preserved:", err)
 	}
 }

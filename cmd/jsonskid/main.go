@@ -1,0 +1,87 @@
+// Command jsonskid is the jsonski query daemon: a long-lived HTTP
+// server that streams JSONPath matches out of JSON and NDJSON request
+// bodies, amortizing query compilation across requests with an LRU
+// cache and fanning NDJSON records out over a bounded worker pool.
+//
+// Usage:
+//
+//	jsonskid -addr :8490
+//
+//	curl -sN 'localhost:8490/query?path=$.user.name' --data-binary @records.ndjson
+//	curl -sN 'localhost:8490/multi?path=$.a&path=$.b' --data-binary @records.ndjson
+//	curl -s  'localhost:8490/metrics'
+//
+// Matches stream back as NDJSON lines {"record":n,"value":...} (plus a
+// "query" index on /multi), flushed record by record. SIGINT/SIGTERM
+// trigger a graceful shutdown: in-flight requests drain, then the
+// worker pool stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jsonski/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8490", "listen address")
+		workers = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "bounded record-queue depth (0 = 4x workers)")
+		cache   = flag.Int("cache", 0, "compiled-query cache capacity (0 = default)")
+		maxBody = flag.Int64("max-body", 0, "request body byte cap (0 = 1 GiB, negative = unlimited)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskid:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "jsonskid: listening on %s\n", ln.Addr())
+	cfg := server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		MaxBodyBytes: *maxBody,
+	}
+	if err := serve(ctx, ln, cfg, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskid:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon on ln until ctx is cancelled, then shuts down
+// gracefully: stop accepting, drain in-flight requests (bounded by the
+// drain timeout), and only then stop the shared worker pool.
+func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.Duration) error {
+	s := server.New(cfg)
+	hs := &http.Server{Handler: s}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	if serr := <-errCh; !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	s.Close()
+	return err
+}

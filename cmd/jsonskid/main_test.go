@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"jsonski/internal/server"
+)
+
+// TestServeEndToEnd boots the daemon on a loopback port, streams a
+// multi-record NDJSON body through /query, checks that matches come
+// back incrementally in record order, verifies /metrics reflects the
+// work (input bytes, fast-forward ratio, and a cache hit on the second
+// identical request), and then shuts the daemon down gracefully.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, ln, server.Config{Workers: 2}, 5*time.Second)
+	}()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	var in strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&in, `{"skip": {"deep": [1, 2, 3]}, "v": %d, "pad": "%s"}`+"\n",
+			i, strings.Repeat("z", 100))
+	}
+	queryURL := base + "/query?path=" + url.QueryEscape("$.v")
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(queryURL, "application/x-ndjson", strings.NewReader(in.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		n := 0
+		for sc.Scan() {
+			want := fmt.Sprintf(`{"record":%d,"value":%d}`, n, n)
+			if sc.Text() != want {
+				t.Fatalf("round %d line %d = %q", round, n, sc.Text())
+			}
+			n++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil || n != 50 {
+			t.Fatalf("round %d: %d lines, err %v", round, n, err)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		IO struct {
+			BytesIn int64 `json:"bytes_in"`
+		} `json:"io"`
+		Engine struct {
+			Records          int64   `json:"records"`
+			FastForwardRatio float64 `json:"fast_forward_ratio"`
+		} `json:"engine"`
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.IO.BytesIn == 0 {
+		t.Fatal("metrics report zero input bytes")
+	}
+	if snap.Engine.Records != 100 {
+		t.Fatalf("records = %d", snap.Engine.Records)
+	}
+	if snap.Engine.FastForwardRatio <= 0 {
+		t.Fatalf("fast-forward ratio = %v", snap.Engine.FastForwardRatio)
+	}
+	if snap.Cache.Hits == 0 || snap.Cache.Misses == 0 {
+		t.Fatalf("cache = %+v (want a miss then a hit)", snap.Cache)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

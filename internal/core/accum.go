@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"jsonski/internal/fastforward"
+)
+
+// StatsAccum aggregates Stats from concurrent engine runs without a
+// lock. Workers call Add as records complete; a reader may call Load at
+// any time for a live snapshot (counters are individually atomic, so a
+// snapshot taken mid-Add can be torn across fields — fine for metrics,
+// which is what this is for; final totals read after all writers finish
+// are exact).
+type StatsAccum struct {
+	matches    atomic.Int64
+	inputBytes atomic.Int64
+	skipped    [fastforward.NumGroups]atomic.Int64
+	words      atomic.Int64
+}
+
+// Add folds one run's stats into the accumulator.
+func (a *StatsAccum) Add(st Stats) {
+	a.matches.Add(st.Matches)
+	a.inputBytes.Add(st.InputBytes)
+	for g, v := range st.Skipped.SkippedBytes {
+		if v != 0 {
+			a.skipped[g].Add(v)
+		}
+	}
+	if st.WordsProcessed != 0 {
+		a.words.Add(int64(st.WordsProcessed))
+	}
+}
+
+// Load returns the accumulated totals.
+func (a *StatsAccum) Load() Stats {
+	var st Stats
+	st.Matches = a.matches.Load()
+	st.InputBytes = a.inputBytes.Load()
+	for g := range a.skipped {
+		st.Skipped.SkippedBytes[g] = a.skipped[g].Load()
+	}
+	st.WordsProcessed = int(a.words.Load())
+	return st
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"jsonski/internal/fastforward"
+)
+
+func TestStatsAccumConcurrent(t *testing.T) {
+	var a StatsAccum
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				st := Stats{Matches: 1, InputBytes: 10, WordsProcessed: 2}
+				st.Skipped.SkippedBytes[0] = 3
+				st.Skipped.SkippedBytes[4] = 1
+				a.Add(st)
+			}
+		}()
+	}
+	wg.Wait()
+	got := a.Load()
+	n := int64(workers * per)
+	if got.Matches != n || got.InputBytes != 10*n || got.WordsProcessed != int(2*n) {
+		t.Fatalf("totals = %+v", got)
+	}
+	if got.Skipped.SkippedBytes[0] != 3*n || got.Skipped.SkippedBytes[4] != n {
+		t.Fatalf("skipped = %+v", got.Skipped)
+	}
+	for g := 1; g < int(fastforward.NumGroups)-1; g++ {
+		if got.Skipped.SkippedBytes[g] != 0 {
+			t.Fatalf("group %d unexpectedly nonzero", g)
+		}
+	}
+}
+
+func TestStatsAccumZero(t *testing.T) {
+	var a StatsAccum
+	if got := a.Load(); got.Matches != 0 || got.InputBytes != 0 {
+		t.Fatalf("zero accum loaded %+v", got)
+	}
+}

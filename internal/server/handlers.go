@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+
+	"jsonski"
+)
+
+// recResult is one record's rendered output: the NDJSON lines for its
+// matches, or the evaluation error.
+type recResult struct {
+	idx int
+	out []byte
+	err error
+}
+
+// evalFunc evaluates one record and renders its match lines. It runs on
+// pool workers, concurrently with other records.
+type evalFunc func(rec []byte, idx int) recResult
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.m.queryRequests.Add(1)
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		s.jsonError(w, http.StatusBadRequest, errors.New("missing ?path= query parameter"))
+		return
+	}
+	q, err := s.cache.Query(path)
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serve(w, r, func(rec []byte, idx int) recResult {
+		var buf bytes.Buffer
+		st, err := q.Run(rec, func(m jsonski.Match) {
+			buf.WriteString(`{"record":`)
+			buf.WriteString(strconv.Itoa(idx))
+			buf.WriteString(`,"value":`)
+			buf.Write(m.Value)
+			buf.WriteString("}\n")
+		})
+		s.m.addStats(st)
+		return recResult{idx: idx, out: buf.Bytes(), err: err}
+	})
+}
+
+func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
+	s.m.multiRequests.Add(1)
+	paths := r.URL.Query()["path"]
+	if len(paths) == 0 {
+		s.jsonError(w, http.StatusBadRequest, errors.New("missing ?path= query parameters"))
+		return
+	}
+	qs, err := s.cache.QuerySet(paths...)
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serve(w, r, func(rec []byte, idx int) recResult {
+		var buf bytes.Buffer
+		st, err := qs.Run(rec, func(m jsonski.SetMatch) {
+			buf.WriteString(`{"record":`)
+			buf.WriteString(strconv.Itoa(idx))
+			buf.WriteString(`,"query":`)
+			buf.WriteString(strconv.Itoa(m.Query))
+			buf.WriteString(`,"value":`)
+			buf.Write(m.Value)
+			buf.WriteString("}\n")
+		})
+		s.m.addStats(st)
+		return recResult{idx: idx, out: buf.Bytes(), err: err}
+	})
+}
+
+// serve wires a request body into eval: a single JSON record when the
+// Content-Type says application/json, an NDJSON record stream otherwise.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, eval evalFunc) {
+	s.m.inFlight.Add(1)
+	defer s.m.inFlight.Add(-1)
+	var body io.Reader = r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	body = &countingReader{r: body, n: &s.m.bytesIn}
+
+	if ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); ct == "application/json" {
+		s.serveSingle(w, r, body, eval)
+		return
+	}
+	s.streamRecords(w, r, body, eval)
+}
+
+// serveSingle evaluates the whole body as one record.
+func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Reader, eval evalFunc) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		s.requestError(w, err)
+		return
+	}
+	data = bytes.TrimSpace(data)
+	if len(data) == 0 {
+		s.jsonError(w, http.StatusBadRequest, errors.New("empty body"))
+		return
+	}
+	res := eval(data, 0)
+	if res.err != nil {
+		s.m.recordErrors.Add(1)
+		s.jsonError(w, http.StatusBadRequest, res.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.write(w, res.out)
+}
+
+// streamRecords pipelines an NDJSON body through the worker pool with a
+// sliding window of in-flight records: up to `depth` records are being
+// evaluated while earlier results are written back in input order and
+// flushed one record at a time, so the client sees matches for record n
+// while record n+k is still parsing — including clients that trickle
+// records in over a held-open connection. The window, together with the
+// pool's bounded queue, is the request's backpressure: reading from the
+// body pauses whenever the window is full.
+//
+// NDJSON records are independent, so a malformed record does not abort
+// the stream: it becomes a {"record":n,"error":...} line (counted in
+// /metrics) and evaluation continues with the next record.
+func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, body io.Reader, eval evalFunc) {
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	// HTTP/1 servers assume a handler stops reading the body once it
+	// writes the response; we interleave the two by design (matches for
+	// record n stream back while record n+k is still uploading), which
+	// needs full-duplex mode. HTTP/2 is always full duplex; ignore the
+	// not-supported error there.
+	_ = rc.EnableFullDuplex()
+	depth := 2 * s.cfg.Workers
+
+	// The body is read by its own goroutine so the handler can hand a
+	// finished result to the client while the next record is still in
+	// flight on the wire. The goroutine owns r.Body until it sees EOF,
+	// a read error, or ctx done — the handler joins on readDone before
+	// returning, so the body is never touched after ServeHTTP exits.
+	lines := make(chan []byte)
+	readDone := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		br := bufio.NewReaderSize(body, 64<<10)
+		for {
+			line, err := readLine(br)
+			if len(line) > 0 {
+				select {
+				case lines <- line:
+				case <-ctx.Done():
+					readDone <- ctx.Err()
+					return
+				}
+			}
+			if err == io.EOF {
+				readDone <- nil
+				return
+			}
+			if err != nil {
+				readDone <- err
+				return
+			}
+		}
+	}()
+
+	window := make([]chan recResult, 0, depth)
+	idx := 0
+	wroteAny := false
+	linesOpen := true
+
+	flush := func() { _ = rc.Flush() }
+	writeResult := func(res recResult) {
+		if res.err != nil {
+			s.m.recordErrors.Add(1)
+			s.writeErrorLine(w, res.idx, res.err)
+			wroteAny = true
+			flush()
+			return
+		}
+		if len(res.out) > 0 {
+			s.write(w, res.out)
+			wroteAny = true
+			flush()
+		}
+	}
+
+loop:
+	for linesOpen || len(window) > 0 {
+		var ready chan recResult
+		if len(window) > 0 {
+			ready = window[0]
+		}
+		var lineCh chan []byte
+		if linesOpen && len(window) < depth {
+			lineCh = lines
+		}
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				linesOpen = false
+				continue
+			}
+			// bufio.ReadBytes hands each line out in a fresh slice, so
+			// records can cross into worker goroutines as-is.
+			rec, i := line, idx
+			idx++
+			ch := make(chan recResult, 1)
+			if err := s.pool.submit(ctx, func() { ch <- eval(rec, i) }); err != nil {
+				break loop
+			}
+			window = append(window, ch)
+		case res := <-ready:
+			window = window[1:]
+			writeResult(res)
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	// On an early break the reader may be blocked handing us a line;
+	// keep receiving (and discarding) so it can run to EOF or error.
+	for linesOpen {
+		if _, ok := <-lines; !ok {
+			linesOpen = false
+		}
+	}
+	// Drain results still in flight (every submitted task sends exactly
+	// once into its buffered channel), then join the reader.
+	for _, ch := range window {
+		if ctx.Err() == nil {
+			writeResult(<-ch)
+		} else {
+			<-ch
+		}
+	}
+	if err := <-readDone; err != nil {
+		if ctx.Err() != nil {
+			s.m.cancelledReads.Add(1)
+			return
+		}
+		s.requestErrorMidStream(w, wroteAny, err)
+		return
+	}
+	if !wroteAny {
+		// No record produced a match: still a success, still NDJSON —
+		// just an empty stream.
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// requestError maps a body-read failure to a status code before any
+// output has been written.
+func (s *Server) requestError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	s.jsonError(w, status, err)
+}
+
+// requestErrorMidStream reports a body-read failure that may arrive
+// after match lines have already been streamed; in that case the status
+// line is long gone and the error becomes a trailing NDJSON line.
+func (s *Server) requestErrorMidStream(w http.ResponseWriter, wroteAny bool, err error) {
+	if !wroteAny {
+		s.requestError(w, err)
+		return
+	}
+	s.writeErrorLine(w, -1, err)
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// jsonError sends a {"error": ...} response with the given status.
+func (s *Server) jsonError(w http.ResponseWriter, status int, err error) {
+	s.m.requestErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+	s.write(w, append(b, '\n'))
+}
+
+// writeErrorLine appends an NDJSON error line to an already-started
+// stream. record is -1 when the error is not tied to one record.
+func (s *Server) writeErrorLine(w http.ResponseWriter, record int, err error) {
+	s.m.requestErrors.Add(1)
+	var line struct {
+		Record *int   `json:"record,omitempty"`
+		Error  string `json:"error"`
+	}
+	if record >= 0 {
+		line.Record = &record
+	}
+	line.Error = err.Error()
+	b, _ := json.Marshal(line)
+	s.write(w, append(b, '\n'))
+}
+
+// readLine reads one newline-terminated record, trimming whitespace.
+// Lines longer than the reader's buffer are handled by ReadBytes.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	return bytes.TrimSpace(line), err
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"jsonski"
+	"jsonski/internal/fastforward"
+)
+
+// metrics holds the server's live counters, expvar-style: individually
+// atomic monotonic counters (plus one in-flight gauge), readable at any
+// time without locks. Engine counters are fed from jsonski.Stats as each
+// record finishes, so /metrics reflects requests still in progress.
+type metrics struct {
+	queryRequests  atomic.Int64
+	multiRequests  atomic.Int64
+	requestErrors  atomic.Int64
+	inFlight       atomic.Int64
+	bytesIn        atomic.Int64
+	bytesOut       atomic.Int64
+	records        atomic.Int64
+	matches        atomic.Int64
+	engineInBytes  atomic.Int64
+	skipped        [fastforward.NumGroups]atomic.Int64
+	recordErrors   atomic.Int64
+	cancelledReads atomic.Int64
+}
+
+// addStats folds one record evaluation into the engine counters.
+func (m *metrics) addStats(st jsonski.Stats) {
+	m.records.Add(1)
+	m.matches.Add(st.Matches)
+	m.engineInBytes.Add(st.InputBytes)
+	for g, v := range st.SkippedBytes {
+		if v != 0 {
+			m.skipped[g].Add(v)
+		}
+	}
+}
+
+// metricsSnapshot is the JSON document served at GET /metrics.
+type metricsSnapshot struct {
+	Requests struct {
+		Query    int64 `json:"query"`
+		Multi    int64 `json:"multi"`
+		Errors   int64 `json:"errors"`
+		InFlight int64 `json:"in_flight"`
+	} `json:"requests"`
+	IO struct {
+		BytesIn  int64 `json:"bytes_in"`
+		BytesOut int64 `json:"bytes_out"`
+	} `json:"io"`
+	Engine struct {
+		Records          int64     `json:"records"`
+		RecordErrors     int64     `json:"record_errors"`
+		Matches          int64     `json:"matches"`
+		InputBytes       int64     `json:"input_bytes"`
+		SkippedBytes     [5]int64  `json:"skipped_bytes"`
+		FastForwardRatio float64   `json:"fast_forward_ratio"`
+		GroupRatios      []float64 `json:"group_ratios"`
+	} `json:"engine"`
+	Cache struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Evictions int64   `json:"evictions"`
+		Size      int     `json:"size"`
+		Cap       int     `json:"cap"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+	Workers struct {
+		Count         int `json:"count"`
+		QueueDepth    int `json:"queue_depth"`
+		QueueCapacity int `json:"queue_capacity"`
+	} `json:"workers"`
+}
+
+func (s *Server) snapshot() metricsSnapshot {
+	var out metricsSnapshot
+	out.Requests.Query = s.m.queryRequests.Load()
+	out.Requests.Multi = s.m.multiRequests.Load()
+	out.Requests.Errors = s.m.requestErrors.Load()
+	out.Requests.InFlight = s.m.inFlight.Load()
+	out.IO.BytesIn = s.m.bytesIn.Load()
+	out.IO.BytesOut = s.m.bytesOut.Load()
+
+	var st jsonski.Stats
+	st.Matches = s.m.matches.Load()
+	st.InputBytes = s.m.engineInBytes.Load()
+	for g := range s.m.skipped {
+		st.SkippedBytes[g] = s.m.skipped[g].Load()
+	}
+	out.Engine.Records = s.m.records.Load()
+	out.Engine.RecordErrors = s.m.recordErrors.Load()
+	out.Engine.Matches = st.Matches
+	out.Engine.InputBytes = st.InputBytes
+	out.Engine.SkippedBytes = st.SkippedBytes
+	out.Engine.FastForwardRatio = st.FastForwardRatio()
+	out.Engine.GroupRatios = make([]float64, len(st.SkippedBytes))
+	for g := range st.SkippedBytes {
+		out.Engine.GroupRatios[g] = st.GroupRatio(g)
+	}
+
+	cs := s.cache.Stats()
+	out.Cache.Hits = cs.Hits
+	out.Cache.Misses = cs.Misses
+	out.Cache.Evictions = cs.Evictions
+	out.Cache.Size = cs.Size
+	out.Cache.Cap = cs.Cap
+	out.Cache.HitRate = cs.HitRate()
+
+	out.Workers.Count = s.pool.workers()
+	out.Workers.QueueDepth = s.pool.queueDepth()
+	out.Workers.QueueCapacity = s.pool.queueCap()
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(s.snapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.write(w, append(b, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.write(w, []byte("ok\n"))
+}

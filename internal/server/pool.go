@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errPoolClosed is returned by submit after close() has begun.
+var errPoolClosed = errors.New("server: worker pool closed")
+
+// workerPool is a fixed set of goroutines draining a bounded task queue.
+// It is shared by all in-flight requests, so the number of records being
+// evaluated concurrently — and therefore engine memory — is capped
+// globally, not per request. A full queue makes submit block, which
+// propagates backpressure up through the request handlers to the
+// clients' TCP streams.
+type workerPool struct {
+	tasks chan func()
+	quit  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	n     int
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &workerPool{
+		tasks: make(chan func(), queue),
+		quit:  make(chan struct{}),
+		n:     workers,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			t()
+		case <-p.quit:
+			// Drain what was accepted before shutdown; every submitted
+			// task owns a buffered result channel some request is
+			// waiting on, so none may be dropped.
+			for {
+				select {
+				case t := <-p.tasks:
+					t()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit enqueues fn, blocking while the queue is full. It fails fast
+// when ctx is done or the pool is shutting down; on success fn is
+// guaranteed to run eventually.
+func (p *workerPool) submit(ctx context.Context, fn func()) error {
+	select {
+	case <-p.quit:
+		return errPoolClosed
+	default:
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.quit:
+		return errPoolClosed
+	}
+}
+
+// queueDepth is the number of accepted-but-unstarted tasks.
+func (p *workerPool) queueDepth() int { return len(p.tasks) }
+
+// queueCap is the queue's capacity.
+func (p *workerPool) queueCap() int { return cap(p.tasks) }
+
+// workers is the goroutine count.
+func (p *workerPool) workers() int { return p.n }
+
+// close stops the pool after draining accepted tasks. Call only once no
+// new submissions can arrive (i.e. after the HTTP server has drained).
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := newWorkerPool(4, 8)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.submit(context.Background(), func() {
+			n.Add(1)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+	if p.workers() != 4 || p.queueCap() != 8 {
+		t.Fatalf("gauges: workers=%d cap=%d", p.workers(), p.queueCap())
+	}
+	p.close()
+}
+
+func TestPoolCloseDrainsAcceptedTasks(t *testing.T) {
+	p := newWorkerPool(1, 16)
+	var n atomic.Int64
+	block := make(chan struct{})
+	p.submit(context.Background(), func() { <-block })
+	for i := 0; i < 10; i++ {
+		if err := p.submit(context.Background(), func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	p.close()
+	if n.Load() != 10 {
+		t.Fatalf("drained %d of 10 accepted tasks", n.Load())
+	}
+	if err := p.submit(context.Background(), func() {}); !errors.Is(err, errPoolClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestPoolSubmitBlocksAndHonorsContext(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.close()
+	block := make(chan struct{})
+	defer close(block)
+	p.submit(context.Background(), func() { <-block }) // occupies the worker
+	p.submit(context.Background(), func() {})          // fills the queue
+	if d := p.queueDepth(); d != 1 {
+		t.Fatalf("queue depth = %d", d)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.submit(ctx, func() {})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("submit did not block until the deadline")
+	}
+}

@@ -1,0 +1,117 @@
+// Package server is jsonskid's HTTP serving layer: streaming JSONPath
+// evaluation over request bodies, backed by a compiled-query LRU cache
+// (jsonski.Cache), a bounded record-parallel worker pool, and live
+// metrics.
+//
+// Endpoints:
+//
+//	POST /query?path=$.a.b   evaluate one path; body is NDJSON (default)
+//	                         or a single JSON record (Content-Type:
+//	                         application/json); matches stream back as
+//	                         NDJSON lines {"record":n,"value":...}
+//	POST /multi?path=..&path=..  evaluate several paths in one shared
+//	                         pass per record (jsonski.QuerySet); lines
+//	                         gain a "query" index field
+//	GET  /metrics            live counters (see metricsSnapshot)
+//	GET  /healthz            liveness probe
+//
+// Records of an NDJSON body are fanned out across the worker pool and
+// their results written back in input order, flushed record by record,
+// so a client consuming a long stream sees matches incrementally while
+// later records are still being parsed.
+package server
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"jsonski"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// Workers is the number of evaluation goroutines shared by all
+	// requests. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds accepted-but-unstarted record evaluations
+	// (backpressure). 0 means 4×Workers.
+	QueueDepth int
+	// CacheSize caps the compiled-query LRU cache. 0 means
+	// jsonski.DefaultCacheSize.
+	CacheSize int
+	// MaxBodyBytes caps a single request body; an NDJSON stream that
+	// exceeds it is cut off mid-request with an error. 0 means 1 GiB,
+	// negative means unlimited.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes is the request-body cap used when
+// Config.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 1 << 30
+
+// Server is the HTTP handler. Create with New, serve it with net/http,
+// and Close it after the HTTP server has drained.
+type Server struct {
+	cfg   Config
+	cache *jsonski.Cache
+	pool  *workerPool
+	mux   *http.ServeMux
+	m     metrics
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: jsonski.NewCache(cfg.CacheSize),
+		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /multi", s.handleMulti)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the compiled-query cache (shared with any embedding
+// code that wants to pre-warm it).
+func (s *Server) Cache() *jsonski.Cache { return s.cache }
+
+// Close drains and stops the worker pool. Call after http.Server
+// .Shutdown has returned so no request can still submit work.
+func (s *Server) Close() { s.pool.close() }
+
+// write sends b to the client, accounting bytes out.
+func (s *Server) write(w io.Writer, b []byte) {
+	n, _ := w.Write(b)
+	s.m.bytesOut.Add(int64(n))
+}
+
+// countingReader tallies bytes drawn from a request body.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}

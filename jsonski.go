@@ -23,6 +23,7 @@
 package jsonski
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -189,7 +190,7 @@ func (q *Query) RunRecords(records [][]byte, fn func(Match)) (Stats, error) {
 		st, err := e.Run(rec, emit)
 		out.add(st)
 		if err != nil {
-			return out, err
+			return out, wrapRecordErr(i, err)
 		}
 	}
 	return out, nil
@@ -206,11 +207,11 @@ func (q *Query) RunRecordsParallel(records [][]byte, workers int, fn func(Match)
 		return q.RunRecords(records, fn)
 	}
 	var (
-		next   atomic.Int64
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		out    Stats
-		outErr error
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		accum   core.StatsAccum
+		errOnce sync.Once
+		outErr  error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -218,7 +219,6 @@ func (q *Query) RunRecordsParallel(records [][]byte, workers int, fn func(Match)
 			defer wg.Done()
 			e := q.pool.Get().(runner)
 			defer q.pool.Put(e)
-			var local Stats
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(records) {
@@ -232,26 +232,24 @@ func (q *Query) RunRecordsParallel(records [][]byte, workers int, fn func(Match)
 					}
 				}
 				st, err := e.Run(rec, emit)
-				local.add(st)
+				accum.Add(st)
 				if err != nil {
-					mu.Lock()
-					if outErr == nil {
-						outErr = err
-					}
-					mu.Unlock()
+					errOnce.Do(func() { outErr = wrapRecordErr(i, err) })
 				}
 			}
-			mu.Lock()
-			out.Matches += local.Matches
-			out.InputBytes += local.InputBytes
-			for g := range out.SkippedBytes {
-				out.SkippedBytes[g] += local.SkippedBytes[g]
-			}
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()
+	var out Stats
+	out.add(accum.Load())
 	return out, outErr
+}
+
+// wrapRecordErr tags an engine error with the index of the record that
+// produced it, so callers of the multi-record entry points can report
+// which line of an NDJSON input is malformed.
+func wrapRecordErr(record int, err error) error {
+	return fmt.Errorf("record %d: %w", record, err)
 }
 
 // All collects every match into a slice of copied values. Convenient for

@@ -83,6 +83,32 @@ func (qs *QuerySet) Run(data []byte, fn func(SetMatch)) (Stats, error) {
 	return out, err
 }
 
+// RunRecords evaluates all queries over a sequence of independent JSON
+// records sequentially with a single shared engine, invoking fn for
+// every match of every query. SetMatch.Record carries the record index.
+// Engine errors are wrapped with the index of the offending record.
+func (qs *QuerySet) RunRecords(records [][]byte, fn func(SetMatch)) (Stats, error) {
+	e := qs.pool.Get().(*core.MultiEngine)
+	defer qs.pool.Put(e)
+	var out Stats
+	for i, rec := range records {
+		var emit core.MultiEmitFunc
+		if fn != nil {
+			i, rec := i, rec
+			emit = func(query, s, en int) {
+				fn(SetMatch{Query: query,
+					Match: Match{Start: s, End: en, Value: rec[s:en], Record: i}})
+			}
+		}
+		st, err := e.Run(rec, emit)
+		out.add(st)
+		if err != nil {
+			return out, wrapRecordErr(i, err)
+		}
+	}
+	return out, nil
+}
+
 // Counts returns the number of matches per query.
 func (qs *QuerySet) Counts(data []byte) ([]int64, error) {
 	counts := make([]int64, len(qs.exprs))

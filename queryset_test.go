@@ -204,3 +204,35 @@ func TestQuerySetFastForwardStillHigh(t *testing.T) {
 		t.Errorf("set run fast-forward ratio = %.3f", st.FastForwardRatio())
 	}
 }
+
+func TestQuerySetRunRecords(t *testing.T) {
+	qs := MustCompileSet("$.a", "$.b")
+	records := [][]byte{
+		[]byte(`{"a": 1, "b": "x"}`),
+		[]byte(`{"b": "y"}`),
+		[]byte(`{"a": 3}`),
+	}
+	var got []string
+	st, err := qs.RunRecords(records, func(m SetMatch) {
+		got = append(got, fmt.Sprintf("%d/%d=%s", m.Record, m.Query, m.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 4 {
+		t.Fatalf("matches = %d", st.Matches)
+	}
+	want := []string{`0/0=1`, `0/1="x"`, `1/1="y"`, `2/0=3`}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestQuerySetRunRecordsErrorNamesRecord(t *testing.T) {
+	qs := MustCompileSet("$.a")
+	records := [][]byte{[]byte(`{"a": 1}`), []byte(`{"a": `)}
+	_, err := qs.RunRecords(records, nil)
+	if err == nil || !strings.Contains(err.Error(), "record 1:") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -3,8 +3,11 @@ package jsonski
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"io"
 	"sync"
+
+	"jsonski/internal/core"
 )
 
 // RunReader streams newline-delimited JSON records from r, evaluating the
@@ -16,12 +19,23 @@ import (
 // lifted from preloaded buffers to a true input stream; memory use is
 // bounded by the largest single record.
 func (q *Query) RunReader(r io.Reader, fn func(Match)) (Stats, error) {
+	return q.RunReaderContext(context.Background(), r, fn)
+}
+
+// RunReaderContext is RunReader with cancellation: the loop stops between
+// records as soon as ctx is done and returns ctx.Err() (records are never
+// abandoned mid-evaluation, so the abort granularity is one record).
+// Engine errors are wrapped with the index of the offending record.
+func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, fn func(Match)) (Stats, error) {
 	e := q.pool.Get().(runner)
 	defer q.pool.Put(e)
 	br := bufio.NewReaderSize(r, 1<<16)
 	var out Stats
 	recno := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		line, err := readLine(br)
 		if len(line) > 0 {
 			var emit func(s, en int)
@@ -35,7 +49,7 @@ func (q *Query) RunReader(r io.Reader, fn func(Match)) (Stats, error) {
 			st, rerr := e.Run(line, emit)
 			out.add(st)
 			if rerr != nil {
-				return out, rerr
+				return out, wrapRecordErr(recno, rerr)
 			}
 			recno++
 		}
@@ -60,8 +74,15 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 // fn may be invoked concurrently. Record indexes reflect input order;
 // callback order is unspecified.
 func (q *Query) RunReaderParallel(r io.Reader, workers int, fn func(Match)) (Stats, error) {
+	return q.RunReaderParallelContext(context.Background(), r, workers, fn)
+}
+
+// RunReaderParallelContext is RunReaderParallel with cancellation: once
+// ctx is done no further records are dispatched, in-flight records drain,
+// and ctx.Err() is returned.
+func (q *Query) RunReaderParallelContext(ctx context.Context, r io.Reader, workers int, fn func(Match)) (Stats, error) {
 	if workers <= 1 {
-		return q.RunReader(r, fn)
+		return q.RunReaderContext(ctx, r, fn)
 	}
 	type task struct {
 		rec []byte
@@ -69,10 +90,10 @@ func (q *Query) RunReaderParallel(r io.Reader, workers int, fn func(Match)) (Sta
 	}
 	ch := make(chan task, workers*2)
 	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		out    Stats
-		outErr error
+		wg      sync.WaitGroup
+		accum   core.StatsAccum
+		errOnce sync.Once
+		outErr  error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -80,7 +101,6 @@ func (q *Query) RunReaderParallel(r io.Reader, workers int, fn func(Match)) (Sta
 			defer wg.Done()
 			e := q.pool.Get().(runner)
 			defer q.pool.Put(e)
-			var local Stats
 			for t := range ch {
 				var emit func(s, en int)
 				if fn != nil {
@@ -90,29 +110,32 @@ func (q *Query) RunReaderParallel(r io.Reader, workers int, fn func(Match)) (Sta
 					}
 				}
 				st, err := e.Run(t.rec, emit)
-				local.add(st)
+				accum.Add(st)
 				if err != nil {
-					mu.Lock()
-					if outErr == nil {
-						outErr = err
-					}
-					mu.Unlock()
+					errOnce.Do(func() { outErr = wrapRecordErr(t.i, err) })
 				}
 			}
-			mu.Lock()
-			out.merge(local)
-			mu.Unlock()
 		}()
 	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	recno := 0
 	var readErr error
+dispatch:
 	for {
+		if err := ctx.Err(); err != nil {
+			readErr = err
+			break
+		}
 		line, err := readLine(br)
 		if len(line) > 0 {
 			// ReadBytes allocates a fresh slice per line, so records
 			// can safely cross goroutines.
-			ch <- task{rec: line, i: recno}
+			select {
+			case ch <- task{rec: line, i: recno}:
+			case <-ctx.Done():
+				readErr = ctx.Err()
+				break dispatch
+			}
 			recno++
 		}
 		if err == io.EOF {
@@ -125,6 +148,8 @@ func (q *Query) RunReaderParallel(r io.Reader, workers int, fn func(Match)) (Sta
 	}
 	close(ch)
 	wg.Wait()
+	var out Stats
+	out.add(accum.Load())
 	if outErr == nil {
 		outErr = readErr
 	}

@@ -1,6 +1,8 @@
 package jsonski
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -94,6 +96,47 @@ func TestRunReaderParallelSerialFallback(t *testing.T) {
 	st, err := q.RunReaderParallel(strings.NewReader(`{"v":1}`), 1, nil)
 	if err != nil || st.Matches != 1 {
 		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestRunReaderContextCancelled(t *testing.T) {
+	q := MustCompile("$.v")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := q.RunReaderContext(ctx, strings.NewReader(ndjsonInput(10)), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = q.RunReaderParallelContext(ctx, strings.NewReader(ndjsonInput(10)), 4, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel err = %v", err)
+	}
+}
+
+func TestRunReaderContextCancelMidStream(t *testing.T) {
+	q := MustCompile("$.v")
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	st, err := q.RunReaderContext(ctx, strings.NewReader(ndjsonInput(100)), func(m Match) {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Matches != 3 || n != 3 {
+		t.Fatalf("processed %d records after cancel (stats %d)", n, st.Matches)
+	}
+}
+
+func TestRunReaderErrorNamesRecord(t *testing.T) {
+	q := MustCompile("$.v.x")
+	in := `{"v": {"x": 1}}` + "\n" + `{"v": {` + "\n"
+	_, err := q.RunReader(strings.NewReader(in), nil)
+	if err == nil || !strings.Contains(err.Error(), "record 1:") {
+		t.Fatalf("err = %v", err)
 	}
 }
 
