@@ -548,6 +548,103 @@ func BenchmarkQuerySet(b *testing.B) {
 	})
 }
 
+// BenchmarkMultiQuery measures the structural-index stage amortized
+// across several queries over one buffer: each lazy pass re-classifies
+// every word (at minimum folding quote masks through the string carry),
+// while the indexed passes share one upfront build.
+func BenchmarkMultiQuery(b *testing.B) {
+	data := largeData(b, "tt")
+	exprs := []string{"$[*].text", "$[*].user.id", "$[*].lang", "$[*].en.urls[*].url"}
+	compiled := make([]*jsonski.Query, len(exprs))
+	for i, e := range exprs {
+		compiled[i] = jsonski.MustCompile(e)
+	}
+	bytesAll := int64(len(data)) * int64(len(exprs))
+
+	b.Run("lazy", func(b *testing.B) {
+		b.SetBytes(bytesAll)
+		for i := 0; i < b.N; i++ {
+			for _, q := range compiled {
+				if _, err := q.Count(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.SetBytes(bytesAll)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := jsonski.BuildIndex(data) // build counted: once per N queries
+			for _, q := range compiled {
+				if _, err := q.RunIndexed(ix, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ix.Release()
+		}
+	})
+	b.Run("queryset-indexed", func(b *testing.B) {
+		qs := jsonski.MustCompileSet(exprs...)
+		b.SetBytes(bytesAll)
+		for i := 0; i < b.N; i++ {
+			ix := jsonski.BuildIndex(data)
+			if _, err := qs.RunIndexed(ix, nil); err != nil {
+				b.Fatal(err)
+			}
+			ix.Release()
+		}
+	})
+}
+
+// BenchmarkRepeatedDocument measures the hot-document scenario behind
+// the server's index cache: the same buffer queried again and again.
+// lazy re-runs the word pipeline every time; indexed streams over a
+// prebuilt index; cached adds the IndexCache's hash + lookup on top.
+func BenchmarkRepeatedDocument(b *testing.B) {
+	data := largeData(b, "bb")
+	q := jsonski.MustCompile("$.pd[*].cp[1:3].id")
+
+	b.Run("lazy", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Count(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		ix := jsonski.BuildIndex(data)
+		defer ix.Release()
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := q.RunIndexed(ix, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("index-cache", func(b *testing.B) {
+		ic := jsonski.NewIndexCache(0)
+		ic.Get(data).Release() // warm: every timed Get is a hit
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix := ic.Get(data)
+			if _, err := q.RunIndexed(ix, nil); err != nil {
+				b.Fatal(err)
+			}
+			ix.Release()
+		}
+	})
+	b.Run("index-build", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			jsonski.BuildIndex(data).Release()
+		}
+	})
+}
+
 // BenchmarkDescendant measures the NFA engine (descendant paths, no
 // type-based fast-forwarding) against an equivalent linear path on the
 // DFA engine, quantifying what the paper's exclusion of ".." buys.

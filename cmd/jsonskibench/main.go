@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig10, fig11, fig12, fig13, fig14, table4, table6, ablation, all")
+		exp     = flag.String("exp", "all", "experiment: fig10, fig11, fig12, fig13, fig14, table4, table6, ablation, sharedindex, all")
 		size    = flag.String("size", "16MB", "dataset size (e.g. 64MB)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
@@ -53,17 +53,18 @@ func main() {
 	}
 	h := &harness{size: n, workers: w, seed: *seed}
 	exps := map[string]func(){
-		"fig10":    h.fig10,
-		"fig11":    h.fig11,
-		"fig12":    h.fig12,
-		"fig13":    h.fig13,
-		"fig14":    h.fig14,
-		"table4":   h.table4,
-		"table6":   h.table6,
-		"ablation": h.ablation,
+		"fig10":       h.fig10,
+		"fig11":       h.fig11,
+		"fig12":       h.fig12,
+		"fig13":       h.fig13,
+		"fig14":       h.fig14,
+		"table4":      h.table4,
+		"table6":      h.table6,
+		"ablation":    h.ablation,
+		"sharedindex": h.sharedindex,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table4", "fig10", "fig11", "fig12", "fig13", "fig14", "table6", "ablation"} {
+		for _, name := range []string{"table4", "fig10", "fig11", "fig12", "fig13", "fig14", "table6", "ablation", "sharedindex"} {
 			exps[name]()
 		}
 		return
@@ -409,6 +410,60 @@ func (h *harness) ablation() {
 		fmt.Printf("%-6s | %12v %12v %12v | %7.2fx %7.2fx\n",
 			q.ID, tFull, tNoFF, tScalar,
 			float64(tNoFF)/float64(tFull), float64(tScalar)/float64(tFull))
+	}
+}
+
+// sharedindex measures the structural-index stage: per paper query on
+// its large record, a lazy run (per-word classification every pass)
+// against a run borrowing a prebuilt index, the index build itself, and
+// the content-keyed cache's hit path (hash + lookup + indexed run). The
+// last two columns amortize the build across the paper's multi-query
+// sets: all of the dataset's queries lazily back to back versus one
+// build plus indexed runs.
+func (h *harness) sharedindex() {
+	fmt.Printf("\n== Shared structural index: repeated and multi-query runs ==\n")
+	fmt.Printf("%-6s | %12s %12s %12s %12s | %12s %12s\n",
+		"query", "lazy", "indexed", "build", "cache-hit", "multi-lazy", "multi-ixd")
+	for _, q := range queries.All {
+		data := h.large(q.Dataset)
+		cq := jsonski.MustCompile(q.Large)
+		tLazy := timeIt(func() { _, err := cq.Count(data); must(err) })
+
+		ix := jsonski.BuildIndex(data)
+		tIndexed := timeIt(func() { _, err := cq.RunIndexed(ix, nil); must(err) })
+		ix.Release()
+		tBuild := timeIt(func() { jsonski.BuildIndex(data).Release() })
+
+		ic := jsonski.NewIndexCache(0)
+		ic.Get(data).Release() // warm so every timed Get hits
+		tCached := timeIt(func() {
+			cix := ic.Get(data)
+			_, err := cq.RunIndexed(cix, nil)
+			must(err)
+			cix.Release()
+		})
+
+		group := queries.ForDataset(q.Dataset)
+		all := make([]*jsonski.Query, len(group))
+		for i, g := range group {
+			all[i] = jsonski.MustCompile(g.Large)
+		}
+		tMultiLazy := timeIt(func() {
+			for _, g := range all {
+				_, err := g.Count(data)
+				must(err)
+			}
+		})
+		tMultiIx := timeIt(func() {
+			mix := jsonski.BuildIndex(data)
+			for _, g := range all {
+				_, err := g.RunIndexed(mix, nil)
+				must(err)
+			}
+			mix.Release()
+		})
+		fmt.Printf("%-6s | %12v %12v %12v %12v | %12v %12v\n",
+			q.ID, tLazy, tIndexed, tBuild, tCached, tMultiLazy, tMultiIx)
 	}
 }
 

@@ -39,6 +39,7 @@ func main() {
 		queue   = flag.Int("queue", 0, "bounded record-queue depth (0 = 4x workers)")
 		cache   = flag.Int("cache", 0, "compiled-query cache capacity (0 = default)")
 		maxBody = flag.Int64("max-body", 0, "request body byte cap (0 = 1 GiB, negative = unlimited)")
+		ixCache = flag.Int64("index-cache", 0, "structural-index cache byte budget (0 = 64 MiB, negative = disabled)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
@@ -51,10 +52,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "jsonskid: listening on %s\n", ln.Addr())
 	cfg := server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		MaxBodyBytes: *maxBody,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		MaxBodyBytes:    *maxBody,
+		IndexCacheBytes: *ixCache,
 	}
 	if err := serve(ctx, ln, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonskid:", err)

@@ -1,11 +1,14 @@
 package jsonski_test
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"jsonski"
@@ -35,6 +38,17 @@ func methods() []method {
 			}
 			var out []string
 			_, err = cq.Run(data, func(m jsonski.Match) { out = append(out, string(m.Value)) })
+			return out, err
+		}},
+		{"jsonski-indexed", func(q string, data []byte) ([]string, error) {
+			cq, err := jsonski.Compile(q)
+			if err != nil {
+				return nil, err
+			}
+			ix := jsonski.BuildIndex(data)
+			defer ix.Release()
+			var out []string
+			_, err = cq.RunIndexed(ix, func(m jsonski.Match) { out = append(out, string(m.Value)) })
 			return out, err
 		}},
 		{"charstream", func(q string, data []byte) ([]string, error) {
@@ -301,6 +315,272 @@ func TestAllMethodsAgreeOnPrettyPrintedDocs(t *testing.T) {
 				t.Fatalf("trial %d %s on %s (pretty):\n%v\nvs jsonski\n%v\ndoc: %s",
 					trial, m.name, q, norm, ref, enc)
 			}
+		}
+	}
+}
+
+// recMatch identifies one match of a record-sequence run for comparison
+// across entry points: record index plus the canonicalized value.
+type recMatch struct {
+	rec int
+	val string
+}
+
+// canonical reduces one raw match value to canonical JSON.
+func canonical(t *testing.T, v []byte) string {
+	t.Helper()
+	var x any
+	if err := json.Unmarshal(v, &x); err != nil {
+		t.Fatalf("invalid JSON emitted: %q (%v)", v, err)
+	}
+	enc, _ := json.Marshal(x)
+	return string(enc)
+}
+
+// domRecordMatches evaluates query over each record with the DOM
+// baseline, returning matches in (record, document-order) sequence.
+func domRecordMatches(t *testing.T, query string, records [][]byte) []recMatch {
+	t.Helper()
+	ev, err := domparser.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []recMatch
+	for i, rec := range records {
+		rec := rec
+		if _, err := ev.Run(rec, func(s, e int) {
+			out = append(out, recMatch{rec: i, val: canonical(t, rec[s:e])})
+		}); err != nil {
+			t.Fatalf("dom record %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func sameRecMatches(t *testing.T, label string, got, want []recMatch) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, DOM baseline found %d\ngot:  %v\nwant: %v",
+			label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d = %+v, DOM baseline %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// genRecords produces a batch of marshalled random documents plus the
+// equivalent NDJSON stream.
+func genRecords(t *testing.T, rng *rand.Rand, n int) (records [][]byte, ndjson []byte) {
+	t.Helper()
+	var buf strings.Builder
+	for i := 0; i < n; i++ {
+		enc, err := json.Marshal(genValue(rng, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, enc)
+		buf.Write(enc)
+		buf.WriteByte('\n')
+	}
+	return records, []byte(buf.String())
+}
+
+// TestRecordEntryPointsAgreeWithDOM drives every record-sequence entry
+// point — RunRecords, RunReaderContext, RunReaderParallelContext, and
+// their QuerySet counterparts — over the same batch of random records
+// and requires each to reproduce the DOM baseline's per-record matches.
+func TestRecordEntryPointsAgreeWithDOM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	queries := []string{"$.a", "$.items[*]", "$[*].id", "$.b[*].c", "$[0]", "$.items[1:3]"}
+	for trial := 0; trial < 8; trial++ {
+		records, ndjson := genRecords(t, rng, 25)
+		query := queries[trial%len(queries)]
+		want := domRecordMatches(t, query, records)
+		cq, err := jsonski.Compile(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var got []recMatch
+		collect := func(m jsonski.Match) {
+			got = append(got, recMatch{rec: m.Record, val: canonical(t, m.Value)})
+		}
+
+		got = nil
+		if _, err := cq.RunRecords(records, collect); err != nil {
+			t.Fatalf("RunRecords %s: %v", query, err)
+		}
+		sameRecMatches(t, "RunRecords "+query, got, want)
+
+		got = nil
+		if _, err := cq.RunReaderContext(context.Background(), bytes.NewReader(ndjson), collect); err != nil {
+			t.Fatalf("RunReaderContext %s: %v", query, err)
+		}
+		sameRecMatches(t, "RunReaderContext "+query, got, want)
+
+		// Parallel callback order is unspecified; matches of these pool
+		// queries are disjoint, so (record, start) restores input order.
+		type posMatch struct {
+			rec, start int
+			val        string
+		}
+		var par []posMatch
+		var mu sync.Mutex
+		if _, err := cq.RunReaderParallelContext(context.Background(), bytes.NewReader(ndjson), 4,
+			func(m jsonski.Match) {
+				v := canonical(t, m.Value)
+				mu.Lock()
+				par = append(par, posMatch{rec: m.Record, start: m.Start, val: v})
+				mu.Unlock()
+			}); err != nil {
+			t.Fatalf("RunReaderParallelContext %s: %v", query, err)
+		}
+		sort.Slice(par, func(i, j int) bool {
+			if par[i].rec != par[j].rec {
+				return par[i].rec < par[j].rec
+			}
+			return par[i].start < par[j].start
+		})
+		got = got[:0]
+		for _, p := range par {
+			got = append(got, recMatch{rec: p.rec, val: p.val})
+		}
+		sameRecMatches(t, "RunReaderParallelContext "+query, got, want)
+
+		// Single-expression QuerySet entry points must match too.
+		qs, err := jsonski.CompileSet(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collectSet := func(m jsonski.SetMatch) {
+			if m.Query != 0 {
+				t.Fatalf("single-expression set emitted query index %d", m.Query)
+			}
+			got = append(got, recMatch{rec: m.Record, val: canonical(t, m.Value)})
+		}
+		got = nil
+		if _, err := qs.RunRecords(records, collectSet); err != nil {
+			t.Fatalf("QuerySet.RunRecords %s: %v", query, err)
+		}
+		sameRecMatches(t, "QuerySet.RunRecords "+query, got, want)
+
+		got = nil
+		if _, err := qs.RunReaderContext(context.Background(), bytes.NewReader(ndjson), collectSet); err != nil {
+			t.Fatalf("QuerySet.RunReaderContext %s: %v", query, err)
+		}
+		sameRecMatches(t, "QuerySet.RunReaderContext "+query, got, want)
+	}
+}
+
+// TestQuerySetReaderAgreesWithDOMPerQuery runs a multi-expression
+// QuerySet through RunRecords and RunReaderContext and compares each
+// member query's matches with its own DOM baseline run.
+func TestQuerySetReaderAgreesWithDOMPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(90210))
+	exprs := []string{"$.a", "$.items[*]", "$[*].id", "$.b[*].c"}
+	records, ndjson := genRecords(t, rng, 30)
+	want := make([][]recMatch, len(exprs))
+	for qi, expr := range exprs {
+		want[qi] = domRecordMatches(t, expr, records)
+	}
+	qs, err := jsonski.CompileSet(exprs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(label string, eval func(fn func(jsonski.SetMatch)) error) {
+		got := make([][]recMatch, len(exprs))
+		if err := eval(func(m jsonski.SetMatch) {
+			got[m.Query] = append(got[m.Query], recMatch{rec: m.Record, val: canonical(t, m.Value)})
+		}); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for qi, expr := range exprs {
+			sameRecMatches(t, label+" "+expr, got[qi], want[qi])
+		}
+	}
+	run("QuerySet.RunRecords", func(fn func(jsonski.SetMatch)) error {
+		_, err := qs.RunRecords(records, fn)
+		return err
+	})
+	run("QuerySet.RunReaderContext", func(fn func(jsonski.SetMatch)) error {
+		_, err := qs.RunReaderContext(context.Background(), bytes.NewReader(ndjson), fn)
+		return err
+	})
+}
+
+// TestIndexedEntryPointsAgree pins the borrowed-index entry points to
+// their lazy twins on random documents: same matches, same order, and
+// for the parallel pair the same multiset.
+func TestIndexedEntryPointsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	exprs := []string{"$.a", "$.items[*]", "$[*].id", "$.b[*].c"}
+	qs := jsonski.MustCompileSet(exprs...)
+	for trial := 0; trial < 40; trial++ {
+		enc, err := json.Marshal(genValue(rng, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := jsonski.BuildIndex(enc)
+		var lazySet, ixSet []string
+		if _, err := qs.Run(enc, func(m jsonski.SetMatch) {
+			lazySet = append(lazySet, fmt.Sprintf("%d:%s", m.Query, m.Value))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := qs.RunIndexed(ix, func(m jsonski.SetMatch) {
+			ixSet = append(ixSet, fmt.Sprintf("%d:%s", m.Query, m.Value))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(lazySet) != fmt.Sprint(ixSet) {
+			t.Fatalf("QuerySet indexed run diverged\nlazy:    %v\nindexed: %v\ndoc: %s",
+				lazySet, ixSet, enc)
+		}
+		ix.Release()
+	}
+
+	// Parallel indexed vs parallel lazy on one large array of records.
+	var arr []any
+	for i := 0; i < 400; i++ {
+		arr = append(arr, map[string]any{"id": i, "v": genValue(rng, 3)})
+	}
+	enc, err := json.Marshal(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jsonski.MustCompile("$[*].id")
+	gather := func(run func(fn func(jsonski.Match)) (jsonski.Stats, error)) []string {
+		var mu sync.Mutex
+		var out []string
+		if _, err := run(func(m jsonski.Match) {
+			mu.Lock()
+			out = append(out, string(m.Value))
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(out)
+		return out
+	}
+	serial := gather(func(fn func(jsonski.Match)) (jsonski.Stats, error) { return q.Run(enc, fn) })
+	ix := jsonski.BuildIndex(enc)
+	defer ix.Release()
+	for _, workers := range []int{2, 3, 8} {
+		workers := workers
+		par := gather(func(fn func(jsonski.Match)) (jsonski.Stats, error) {
+			return q.RunParallel(enc, workers, fn)
+		})
+		parIx := gather(func(fn func(jsonski.Match)) (jsonski.Stats, error) {
+			return q.RunParallelIndexed(ix, workers, fn)
+		})
+		if fmt.Sprint(par) != fmt.Sprint(serial) {
+			t.Fatalf("workers=%d: RunParallel diverged from serial", workers)
+		}
+		if fmt.Sprint(parIx) != fmt.Sprint(serial) {
+			t.Fatalf("workers=%d: RunParallelIndexed diverged from serial", workers)
 		}
 	}
 }

@@ -1,0 +1,206 @@
+package jsonski_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"jsonski"
+	"jsonski/internal/baseline/domparser"
+	"jsonski/internal/jsonpath"
+)
+
+// FuzzValidate cross-checks the bit-parallel validator against
+// encoding/json.Valid: the verdicts must agree on every input, and
+// neither direction may panic.
+func FuzzValidate(f *testing.F) {
+	for _, s := range []string{
+		`{"a":1}`,
+		`[1,2,3]`,
+		`{"s":"é\n","n":-1.5e+3,"b":[true,false,null]}`,
+		`"lone string"`,
+		`-0.0e0`,
+		`{"nested":[{"deep":[[[]]]}]}`,
+		`{"a":1,}`,
+		`[1 2]`,
+		`"unterminated`,
+		`{"bad escape":"\q"}`,
+		`{"raw ctl":"` + "\x01" + `"}`,
+		` 	 [ ] `,
+		`01`,
+		`{`,
+		``,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := jsonski.Valid(data) // must not panic
+		// Near the 10000-level nesting cap the two implementations may
+		// draw the line a level apart; keep only the no-panic check there.
+		if bytes.Count(data, []byte("["))+bytes.Count(data, []byte("{")) > 9000 {
+			return
+		}
+		if want := json.Valid(data); got != want {
+			t.Fatalf("Valid(%q) = %v, encoding/json.Valid = %v", data, got, want)
+		}
+	})
+}
+
+// FuzzParse checks that the JSONPath parser never panics and that a
+// successfully parsed path round-trips: String() re-parses to a path
+// with the same rendering, and the expression compiles into whichever
+// engine (DFA or NFA) its shape selects.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"$",
+		"$.a",
+		"$.a.b.c",
+		"$[0]",
+		"$[1:3]",
+		"$[*].text",
+		"$['quoted name'][2].z",
+		"$.*",
+		"$..name",
+		"$..*",
+		"$[0:10].x[*]",
+		"$['it''s']",
+		"$[",
+		"$.",
+		"a.b",
+		"$[-1]",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := jsonpath.Parse(expr) // must not panic
+		if err != nil {
+			return
+		}
+		src := p.String()
+		p2, err := jsonpath.Parse(src)
+		if err != nil {
+			t.Fatalf("String() of parsed %q gave %q, which fails to re-parse: %v", expr, src, err)
+		}
+		if got := p2.String(); got != src {
+			t.Fatalf("round-trip of %q: String() %q re-parses to %q", expr, src, got)
+		}
+		if _, err := jsonski.Compile(expr); err != nil {
+			t.Fatalf("parsed %q but Compile rejected it: %v", expr, err)
+		}
+	})
+}
+
+// fuzzQueryPool are the shapes FuzzDifferential draws from — child
+// chains, indexes, slices, wildcards, and combinations, all supported
+// by the DOM baseline (no descendants: the baseline evaluator does not
+// implement them).
+var fuzzQueryPool = []string{
+	"$",
+	"$.a",
+	"$.a.b",
+	"$[0]",
+	"$[*]",
+	"$[1:3]",
+	"$[*].a",
+	"$.a[*].b",
+	"$.*",
+	"$[*][0]",
+}
+
+// FuzzDifferential evaluates a pool query over fuzzed JSON three ways —
+// the streaming engine, the streaming engine over a shared structural
+// index, and the DOM baseline — and requires byte-identical matches.
+// The first input byte selects the query; the rest is the document.
+func FuzzDifferential(f *testing.F) {
+	for q := range fuzzQueryPool {
+		f.Add(append([]byte{byte(q)}, `[{"a":{"b":1}},{"a":{"b":[2,3]}},{"c":null}]`...))
+	}
+	f.Add(append([]byte{1}, `{"a":"text with \"escapes\\\" and é","b":2}`...))
+	f.Add(append([]byte{4}, `[ 1 , [2,[3]] , {"a":[4]} , "5, not a sep" ]`...))
+	f.Add(append([]byte{2}, `{"a":{"a":{"a":1}},"b":{"a":{"b":5}}}`...))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) < 2 {
+			return
+		}
+		expr := fuzzQueryPool[int(in[0])%len(fuzzQueryPool)]
+		data := in[1:]
+		// Only well-formed documents have defined query results; the
+		// engine's laxness on malformed skipped regions is by design.
+		if !jsonski.Valid(data) || !json.Valid(data) {
+			return
+		}
+		root, err := domparser.Parse(data)
+		if err != nil {
+			t.Fatalf("valid input %q rejected by DOM baseline: %v", data, err)
+		}
+		if !keysClean(root) {
+			// The engine compares keys unescaped, the raw-byte baseline
+			// doesn't; skip documents with escapes in keys.
+			return
+		}
+
+		base, err := domparser.Compile(expr)
+		if err != nil {
+			t.Fatalf("pool query %q: %v", expr, err)
+		}
+		var want []string
+		if _, err := base.Run(data, func(s, e int) {
+			want = append(want, string(bytes.TrimSpace(data[s:e])))
+		}); err != nil {
+			t.Fatalf("baseline %q over %q: %v", expr, data, err)
+		}
+
+		q, err := jsonski.Compile(expr)
+		if err != nil {
+			t.Fatalf("pool query %q: %v", expr, err)
+		}
+		var lazy []string
+		if _, err := q.Run(data, func(m jsonski.Match) {
+			lazy = append(lazy, string(bytes.TrimSpace(m.Value)))
+		}); err != nil {
+			t.Fatalf("engine %q over %q: %v", expr, data, err)
+		}
+		compareMatches(t, "engine vs DOM baseline", expr, data, lazy, want)
+
+		ix := jsonski.BuildIndex(data)
+		var indexed []string
+		_, err = q.RunIndexed(ix, func(m jsonski.Match) {
+			indexed = append(indexed, string(bytes.TrimSpace(m.Value)))
+		})
+		ix.Release()
+		if err != nil {
+			t.Fatalf("indexed engine %q over %q: %v", expr, data, err)
+		}
+		compareMatches(t, "indexed engine vs DOM baseline", expr, data, indexed, want)
+	})
+}
+
+// keysClean reports whether no object key in the tree contains a
+// backslash escape.
+func keysClean(n *domparser.Node) bool {
+	for _, k := range n.Keys {
+		if bytes.IndexByte(k, '\\') >= 0 {
+			return false
+		}
+	}
+	for _, c := range n.Children {
+		if !keysClean(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func compareMatches(t *testing.T, label, expr string, data []byte, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %q over %q: %d matches vs %d\ngot:  %q\nwant: %q",
+			label, expr, data, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: %q over %q: match %d = %q, want %q",
+				label, expr, data, i, got[i], want[i])
+		}
+	}
+}

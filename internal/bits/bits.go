@@ -156,6 +156,38 @@ func (blk *Block) QuoteAndBackslashMasks() (quotes, backslash uint64) {
 	return quotes, backslash
 }
 
+// ClassifyStructural returns the masks of all six structural
+// metacharacters plus the colon-free whitespace mask in a single pass
+// over the block, sharing the word loads across every classification.
+// This is the build kernel of the shared structural index (stream.Index):
+// when a buffer is indexed once and queried many times, eagerly paying
+// all classifications here beats the lazy per-query Mask path.
+// Masks are raw (not string-filtered); the index build applies the
+// in-string filter itself.
+func (blk *Block) ClassifyStructural() (lbrace, rbrace, lbracket, rbracket, colon, comma, ws uint64) {
+	const (
+		pLBrace   = '{' * lsb8
+		pRBrace   = '}' * lsb8
+		pLBracket = '[' * lsb8
+		pRBracket = ']' * lsb8
+		pColon    = ':' * lsb8
+		pComma    = ',' * lsb8
+		pWS       = 0x21 * lsb8
+	)
+	for i := 0; i < 8; i++ {
+		w := blk[i]
+		sh := uint(8 * i)
+		lbrace |= movemask(eqMaskWord(w, pLBrace)) << sh
+		rbrace |= movemask(eqMaskWord(w, pRBrace)) << sh
+		lbracket |= movemask(eqMaskWord(w, pLBracket)) << sh
+		rbracket |= movemask(eqMaskWord(w, pRBracket)) << sh
+		colon |= movemask(eqMaskWord(w, pColon)) << sh
+		comma |= movemask(eqMaskWord(w, pComma)) << sh
+		ws |= movemask(ltFlags(w, pWS)) << sh
+	}
+	return
+}
+
 // EqMask3Or returns the union of three characters' masks, OR-ing the
 // per-byte flags before the single gather multiply — cheaper than three
 // separate masks when only the union is needed.

@@ -96,6 +96,34 @@ func (e *Engine) Run(data []byte, emit EmitFunc) (Stats, error) {
 		e.s.Reset(data)
 		e.ff.Reset(e.s)
 	}
+	return e.finish(emit, int64(len(data)))
+}
+
+// RunIndexed is Run over a prebuilt structural index: the stream borrows
+// ix's materialized masks instead of classifying words on the fly. The
+// caller must hold a reference on ix for the duration of the call.
+func (e *Engine) RunIndexed(ix *stream.Index, emit EmitFunc) (Stats, error) {
+	return e.RunIndexedWindow(ix, 0, ix.Len(), emit)
+}
+
+// RunIndexedWindow evaluates the query over the single JSON value
+// occupying the window [lo, hi) of ix's buffer — the shard-evaluation
+// entry point of the parallel engine. Emitted positions are absolute
+// within the full buffer.
+func (e *Engine) RunIndexedWindow(ix *stream.Index, lo, hi int, emit EmitFunc) (Stats, error) {
+	if e.s == nil {
+		e.s = stream.NewIndexedWindow(ix, lo, hi)
+		e.ff = fastforward.New(e.s)
+	} else {
+		e.s.ResetIndexedWindow(ix, lo, hi)
+		e.ff.Reset(e.s)
+	}
+	return e.finish(emit, int64(hi-lo))
+}
+
+// finish drives the prepared stream through the automaton and collects
+// statistics.
+func (e *Engine) finish(emit EmitFunc, inputBytes int64) (Stats, error) {
 	e.emit = emit
 	var matches int64
 	e.emitCount = &matches
@@ -103,7 +131,7 @@ func (e *Engine) Run(data []byte, emit EmitFunc) (Stats, error) {
 	err := e.run()
 	st := Stats{
 		Matches:        matches,
-		InputBytes:     int64(len(data)),
+		InputBytes:     inputBytes,
 		Skipped:        e.ff.Stats,
 		WordsProcessed: e.s.WordsProcessed,
 	}

@@ -65,12 +65,31 @@ func (e *MultiEngine) Run(data []byte, emit MultiEmitFunc) (Stats, error) {
 		e.s.Reset(data)
 		e.ff.Reset(e.s)
 	}
+	return e.finish(emit, int64(len(data)))
+}
+
+// RunIndexed evaluates all queries over one record through a prebuilt
+// structural index: the shared pass borrows ix's masks, so the one
+// traversal the queries share also skips the per-word classification.
+// The caller must hold a reference on ix for the duration of the call.
+func (e *MultiEngine) RunIndexed(ix *stream.Index, emit MultiEmitFunc) (Stats, error) {
+	if e.s == nil {
+		e.s = stream.NewIndexed(ix)
+		e.ff = fastforward.New(e.s)
+	} else {
+		e.s.ResetIndexed(ix)
+		e.ff.Reset(e.s)
+	}
+	return e.finish(emit, int64(ix.Len()))
+}
+
+func (e *MultiEngine) finish(emit MultiEmitFunc, inputBytes int64) (Stats, error) {
 	e.emit = emit
 	e.matches = 0
 	err := e.run()
 	return Stats{
 		Matches:        e.matches,
-		InputBytes:     int64(len(data)),
+		InputBytes:     inputBytes,
 		Skipped:        e.ff.Stats,
 		WordsProcessed: e.s.WordsProcessed,
 	}, err

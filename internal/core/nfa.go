@@ -60,13 +60,33 @@ func (e *NFAEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 		e.s.Reset(data)
 		e.ff.Reset(e.s)
 	}
+	return e.finish(emit, int64(len(data)))
+}
+
+// RunIndexed evaluates the path over a prebuilt structural index. The
+// NFA engine tokenizes far more of the input than the DFA engine (no
+// type-based fast-forwarding below a descendant), so borrowing the
+// word masks pays off even more per repeated document. The caller must
+// hold a reference on ix for the duration of the call.
+func (e *NFAEngine) RunIndexed(ix *stream.Index, emit EmitFunc) (Stats, error) {
+	if e.s == nil {
+		e.s = stream.NewIndexed(ix)
+		e.ff = fastforward.New(e.s)
+	} else {
+		e.s.ResetIndexed(ix)
+		e.ff.Reset(e.s)
+	}
+	return e.finish(emit, int64(ix.Len()))
+}
+
+func (e *NFAEngine) finish(emit EmitFunc, inputBytes int64) (Stats, error) {
 	e.emit = emit
 	e.matches = 0
 	e.depth = 0
 	err := e.run()
 	return Stats{
 		Matches:        e.matches,
-		InputBytes:     int64(len(data)),
+		InputBytes:     inputBytes,
 		Skipped:        e.ff.Stats,
 		WordsProcessed: e.s.WordsProcessed,
 	}, err

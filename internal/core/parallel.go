@@ -62,10 +62,41 @@ func NewParallelEngine(p *jsonpath.Path, workers int) (*ParallelEngine, error) {
 
 // Run evaluates the query. emit may be called concurrently.
 func (pe *ParallelEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
-	if pe.workers <= 1 {
-		return NewEngine(pe.aut).Run(data, emit)
+	return pe.eval(data, nil, emit)
+}
+
+// RunIndexed evaluates the query over a prebuilt structural index. With
+// the index, element discovery reads string-filtered masks directly —
+// the speculation and misprediction re-scans of the lazy path disappear,
+// leaving only a popcount pass to stitch per-chunk depths — and every
+// worker's shard evaluation borrows the same masks through a windowed
+// stream. The caller must hold a reference on ix for the duration of
+// the call; emit may be called concurrently and receives absolute
+// positions.
+func (pe *ParallelEngine) RunIndexed(ix *stream.Index, emit EmitFunc) (Stats, error) {
+	return pe.eval(ix.Data(), ix, emit)
+}
+
+// serial is the single-threaded fallback used when parallel evaluation
+// does not apply (one worker, wildcard prefixes, no array step).
+func (pe *ParallelEngine) serial(data []byte, ix *stream.Index, emit EmitFunc) (Stats, error) {
+	e := NewEngine(pe.aut)
+	if ix != nil {
+		return e.RunIndexed(ix, emit)
 	}
-	s := stream.New(data)
+	return e.Run(data, emit)
+}
+
+func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (Stats, error) {
+	if pe.workers <= 1 {
+		return pe.serial(data, ix, emit)
+	}
+	var s *stream.Stream
+	if ix != nil {
+		s = stream.NewIndexed(ix)
+	} else {
+		s = stream.New(data)
+	}
 	ff := fastforward.New(s)
 	b, ok := s.SkipWS()
 	if !ok {
@@ -77,7 +108,7 @@ func (pe *ParallelEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 		st := pe.aut.Step(k)
 		if st.Kind != jsonpath.Child || b != '{' {
 			// wildcard prefixes or type mismatch: fall back to serial
-			return NewEngine(pe.aut).Run(data, emit)
+			return pe.serial(data, ix, emit)
 		}
 		s.Advance(1) // '{'
 		found := false
@@ -108,10 +139,18 @@ func (pe *ParallelEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 	}
 	if k >= pe.aut.StepCount() || !pe.aut.IsArrayState(k) || b != '[' {
 		// No array step to parallelize over: serial evaluation.
-		return NewEngine(pe.aut).Run(data, emit)
+		return pe.serial(data, ix, emit)
 	}
 	aryOpen := s.Pos()
-	elems, err := discoverElementsSWAR(data, aryOpen, pe.workers)
+	var (
+		elems []elemSpan
+		err   error
+	)
+	if ix != nil {
+		elems, err = discoverElementsIndexed(ix, aryOpen, pe.workers)
+	} else {
+		elems, err = discoverElementsSWAR(data, aryOpen, pe.workers)
+	}
 	if err != nil {
 		return Stats{}, err
 	}
@@ -145,11 +184,21 @@ func (pe *ParallelEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 					continue
 				}
 				el := elems[i]
-				var subEmit EmitFunc
-				if emit != nil {
-					subEmit = func(st, en int) { emit(el.start+st, el.start+en) }
+				var (
+					st  Stats
+					err error
+				)
+				if ix != nil {
+					// Windowed indexed stream: positions are already
+					// absolute, no offset shim needed.
+					st, err = e.RunIndexedWindow(ix, el.start, el.end, emit)
+				} else {
+					var subEmit EmitFunc
+					if emit != nil {
+						subEmit = func(st, en int) { emit(el.start+st, el.start+en) }
+					}
+					st, err = e.Run(data[el.start:el.end], subEmit)
 				}
-				st, err := e.Run(data[el.start:el.end], subEmit)
 				local.Matches += st.Matches
 				local.InputBytes += st.InputBytes
 				for g := range local.Skipped.SkippedBytes {
@@ -379,6 +428,134 @@ func discoverElementsSWAR(data []byte, aryOpen, workers int) ([]elemSpan, error)
 	parts := make([]part, n)
 	parallelChunks(n, workers, func(i int) {
 		c, cl := sepScanSWAR(data, bounds[i], bounds[i+1], escIn[i], inStrIn[i], depthIn[i])
+		parts[i] = part{c, cl}
+	})
+	var commas []int
+	closeAt := -1
+	for i := 0; i < n && closeAt < 0; i++ {
+		commas = append(commas, parts[i].commas...)
+		closeAt = parts[i].closeAt
+	}
+	return assembleElems(data, lo, commas, closeAt)
+}
+
+// ---- index-driven element discovery (no speculation needed) ----
+
+// indexedChunkDelta returns the net '{['-minus-'}]' depth change over
+// [lo, hi) read from prebuilt index rows.
+func indexedChunkDelta(ix *stream.Index, lo, hi int) int {
+	d := 0
+	for base := lo &^ (bits.WordSize - 1); base < hi; base += bits.WordSize {
+		opens, closes, _ := ix.DepthMasks(base / bits.WordSize)
+		valid := ^uint64(0)
+		if base < lo {
+			valid &^= uint64(1)<<uint(lo-base) - 1
+		}
+		if hi-base < bits.WordSize {
+			valid &= uint64(1)<<uint(hi-base) - 1
+		}
+		d += bits.OnesCount(opens&valid) - bits.OnesCount(closes&valid)
+	}
+	return d
+}
+
+// sepScanIndexed is sepScanSWAR over prebuilt index rows: the masks are
+// already string-filtered, so no escape/string carries are threaded in.
+func sepScanIndexed(ix *stream.Index, lo, hi, depth int) (commas []int, closeAt int) {
+	closeAt = -1
+	for base := lo &^ (bits.WordSize - 1); base < hi; base += bits.WordSize {
+		opens, closes, cms := ix.DepthMasks(base / bits.WordSize)
+		valid := ^uint64(0)
+		if base < lo {
+			valid &^= uint64(1)<<uint(lo-base) - 1
+		}
+		if hi-base < bits.WordSize {
+			valid &= uint64(1)<<uint(hi-base) - 1
+		}
+		opens &= valid
+		closes &= valid
+		cms &= valid
+		if opens|closes == 0 {
+			if depth == 1 {
+				for m := cms; m != 0; m &= m - 1 {
+					commas = append(commas, base+bits.TrailingZeros(m))
+				}
+			}
+			continue
+		}
+		all := opens | closes | cms
+		for all != 0 {
+			p := bits.TrailingZeros(all)
+			bit := uint64(1) << uint(p)
+			all &= all - 1
+			switch {
+			case opens&bit != 0:
+				depth++
+			case closes&bit != 0:
+				depth--
+				if depth == 0 {
+					return commas, base + p
+				}
+			default:
+				if depth == 1 {
+					commas = append(commas, base+p)
+				}
+			}
+		}
+	}
+	return commas, -1
+}
+
+// discoverElementsIndexed finds the element spans of the array opening
+// at aryOpen by reading prebuilt index rows. String state is resolved
+// for every word at index-build time, so — unlike the speculative SWAR
+// path — chunks need no polarity speculation, no escape-carry stitch,
+// and no misprediction re-scan: phase A is a pure popcount depth-delta
+// per chunk, a serial O(#chunks) prefix sum stitches absolute depths,
+// and phase B collects separators with exact state.
+func discoverElementsIndexed(ix *stream.Index, aryOpen, workers int) ([]elemSpan, error) {
+	data := ix.Data()
+	lo := aryOpen + 1
+	hi := ix.Len()
+	firstWord := (lo + bits.WordSize - 1) / bits.WordSize * bits.WordSize
+	if firstWord > hi {
+		firstWord = hi
+	}
+	words := (hi - firstWord) / bits.WordSize
+	nChunks := workers * 4
+	if nChunks > words {
+		nChunks = words
+	}
+	if nChunks < 2 {
+		commas, closeAt := sepScanIndexed(ix, lo, hi, 1)
+		return assembleElems(data, lo, commas, closeAt)
+	}
+	bounds := make([]int, nChunks+2)
+	bounds[0] = lo
+	for i := 1; i <= nChunks; i++ {
+		bounds[i] = firstWord + (words*i/nChunks)*bits.WordSize
+	}
+	bounds[nChunks+1] = hi
+
+	n := len(bounds) - 1
+	deltas := make([]int, n)
+	parallelChunks(n, workers, func(i int) {
+		deltas[i] = indexedChunkDelta(ix, bounds[i], bounds[i+1])
+	})
+	depthIn := make([]int, n)
+	depth := 1
+	for i := 0; i < n; i++ {
+		depthIn[i] = depth
+		depth += deltas[i]
+	}
+
+	type part struct {
+		commas  []int
+		closeAt int
+	}
+	parts := make([]part, n)
+	parallelChunks(n, workers, func(i int) {
+		c, cl := sepScanIndexed(ix, bounds[i], bounds[i+1], depthIn[i])
 		parts[i] = part{c, cl}
 	})
 	var commas []int

@@ -25,6 +25,16 @@ type recResult struct {
 // pool workers, concurrently with other records.
 type evalFunc func(rec []byte, idx int) recResult
 
+// evaluator bundles a record evaluation with its indexed twin. eval
+// handles NDJSON stream records (each line is seen once; indexing it
+// would be pure overhead); evalIndexed handles single-document
+// requests through the structural-index cache, so repeated queries
+// over a hot document reuse its word masks.
+type evaluator struct {
+	eval        evalFunc
+	evalIndexed func(ix *jsonski.Index, idx int) recResult
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.m.queryRequests.Add(1)
 	path := r.URL.Query().Get("path")
@@ -37,18 +47,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serve(w, r, func(rec []byte, idx int) recResult {
-		var buf bytes.Buffer
-		st, err := q.Run(rec, func(m jsonski.Match) {
-			buf.WriteString(`{"record":`)
-			buf.WriteString(strconv.Itoa(idx))
-			buf.WriteString(`,"value":`)
-			buf.Write(m.Value)
-			buf.WriteString("}\n")
-		})
-		s.m.addStats(st)
-		return recResult{idx: idx, out: buf.Bytes(), err: err}
+	s.serve(w, r, evaluator{
+		eval: func(rec []byte, idx int) recResult {
+			var buf bytes.Buffer
+			st, err := q.Run(rec, queryLine(&buf, idx))
+			s.m.addStats(st)
+			return recResult{idx: idx, out: buf.Bytes(), err: err}
+		},
+		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
+			var buf bytes.Buffer
+			st, err := q.RunIndexed(ix, queryLine(&buf, idx))
+			s.m.addStats(st)
+			return recResult{idx: idx, out: buf.Bytes(), err: err}
+		},
 	})
+}
+
+// queryLine renders each /query match as an NDJSON line into buf.
+func queryLine(buf *bytes.Buffer, idx int) func(jsonski.Match) {
+	return func(m jsonski.Match) {
+		buf.WriteString(`{"record":`)
+		buf.WriteString(strconv.Itoa(idx))
+		buf.WriteString(`,"value":`)
+		buf.Write(m.Value)
+		buf.WriteString("}\n")
+	}
 }
 
 func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
@@ -63,25 +86,39 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serve(w, r, func(rec []byte, idx int) recResult {
-		var buf bytes.Buffer
-		st, err := qs.Run(rec, func(m jsonski.SetMatch) {
-			buf.WriteString(`{"record":`)
-			buf.WriteString(strconv.Itoa(idx))
-			buf.WriteString(`,"query":`)
-			buf.WriteString(strconv.Itoa(m.Query))
-			buf.WriteString(`,"value":`)
-			buf.Write(m.Value)
-			buf.WriteString("}\n")
-		})
-		s.m.addStats(st)
-		return recResult{idx: idx, out: buf.Bytes(), err: err}
+	s.serve(w, r, evaluator{
+		eval: func(rec []byte, idx int) recResult {
+			var buf bytes.Buffer
+			st, err := qs.Run(rec, multiLine(&buf, idx))
+			s.m.addStats(st)
+			return recResult{idx: idx, out: buf.Bytes(), err: err}
+		},
+		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
+			var buf bytes.Buffer
+			st, err := qs.RunIndexed(ix, multiLine(&buf, idx))
+			s.m.addStats(st)
+			return recResult{idx: idx, out: buf.Bytes(), err: err}
+		},
 	})
 }
 
-// serve wires a request body into eval: a single JSON record when the
-// Content-Type says application/json, an NDJSON record stream otherwise.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, eval evalFunc) {
+// multiLine renders each /multi match as an NDJSON line into buf.
+func multiLine(buf *bytes.Buffer, idx int) func(jsonski.SetMatch) {
+	return func(m jsonski.SetMatch) {
+		buf.WriteString(`{"record":`)
+		buf.WriteString(strconv.Itoa(idx))
+		buf.WriteString(`,"query":`)
+		buf.WriteString(strconv.Itoa(m.Query))
+		buf.WriteString(`,"value":`)
+		buf.Write(m.Value)
+		buf.WriteString("}\n")
+	}
+}
+
+// serve wires a request body into the evaluator: a single JSON record
+// when the Content-Type says application/json, an NDJSON record stream
+// otherwise.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, ev evaluator) {
 	s.m.inFlight.Add(1)
 	defer s.m.inFlight.Add(-1)
 	var body io.Reader = r.Body
@@ -91,14 +128,17 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, eval evalFunc) {
 	body = &countingReader{r: body, n: &s.m.bytesIn}
 
 	if ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); ct == "application/json" {
-		s.serveSingle(w, r, body, eval)
+		s.serveSingle(w, r, body, ev)
 		return
 	}
-	s.streamRecords(w, r, body, eval)
+	s.streamRecords(w, r, body, ev.eval)
 }
 
-// serveSingle evaluates the whole body as one record.
-func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Reader, eval evalFunc) {
+// serveSingle evaluates the whole body as one record. With the index
+// cache enabled it runs through a cached structural index: the body
+// buffer is fresh per request (ReadAll), so the cache can safely retain
+// it, and repeated posts of the same document hit the cached masks.
+func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Reader, ev evaluator) {
 	data, err := io.ReadAll(body)
 	if err != nil {
 		s.requestError(w, err)
@@ -109,7 +149,14 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 		s.jsonError(w, http.StatusBadRequest, errors.New("empty body"))
 		return
 	}
-	res := eval(data, 0)
+	var res recResult
+	if s.icache != nil {
+		ix := s.icache.Get(data)
+		res = ev.evalIndexed(ix, 0)
+		ix.Release()
+	} else {
+		res = ev.eval(data, 0)
+	}
 	if res.err != nil {
 		s.m.recordErrors.Add(1)
 		s.jsonError(w, http.StatusBadRequest, res.err)

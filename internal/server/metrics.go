@@ -69,6 +69,17 @@ type metricsSnapshot struct {
 		Cap       int     `json:"cap"`
 		HitRate   float64 `json:"hit_rate"`
 	} `json:"cache"`
+	IndexCache struct {
+		Enabled      bool    `json:"enabled"`
+		Hits         int64   `json:"hits"`
+		Misses       int64   `json:"misses"`
+		Evictions    int64   `json:"evictions"`
+		Entries      int     `json:"entries"`
+		Bytes        int64   `json:"bytes"`
+		CapBytes     int64   `json:"cap_bytes"`
+		BytesIndexed int64   `json:"bytes_indexed"`
+		HitRate      float64 `json:"hit_rate"`
+	} `json:"index_cache"`
 	Workers struct {
 		Count         int `json:"count"`
 		QueueDepth    int `json:"queue_depth"`
@@ -109,6 +120,19 @@ func (s *Server) snapshot() metricsSnapshot {
 	out.Cache.Size = cs.Size
 	out.Cache.Cap = cs.Cap
 	out.Cache.HitRate = cs.HitRate()
+
+	if s.icache != nil {
+		ics := s.icache.Stats()
+		out.IndexCache.Enabled = true
+		out.IndexCache.Hits = ics.Hits
+		out.IndexCache.Misses = ics.Misses
+		out.IndexCache.Evictions = ics.Evictions
+		out.IndexCache.Entries = ics.Entries
+		out.IndexCache.Bytes = ics.Bytes
+		out.IndexCache.CapBytes = ics.CapBytes
+		out.IndexCache.BytesIndexed = ics.BytesIndexed
+		out.IndexCache.HitRate = ics.HitRate()
+	}
 
 	out.Workers.Count = s.pool.workers()
 	out.Workers.QueueDepth = s.pool.queueDepth()

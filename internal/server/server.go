@@ -45,6 +45,12 @@ type Config struct {
 	// exceeds it is cut off mid-request with an error. 0 means 1 GiB,
 	// negative means unlimited.
 	MaxBodyBytes int64
+	// IndexCacheBytes bounds the structural-index LRU used for
+	// single-document requests: repeated queries over the same hot
+	// document reuse its materialized word masks instead of
+	// re-classifying the buffer. 0 means jsonski.DefaultIndexCacheBytes,
+	// negative disables the cache.
+	IndexCacheBytes int64
 }
 
 // DefaultMaxBodyBytes is the request-body cap used when
@@ -54,11 +60,12 @@ const DefaultMaxBodyBytes = 1 << 30
 // Server is the HTTP handler. Create with New, serve it with net/http,
 // and Close it after the HTTP server has drained.
 type Server struct {
-	cfg   Config
-	cache *jsonski.Cache
-	pool  *workerPool
-	mux   *http.ServeMux
-	m     metrics
+	cfg    Config
+	cache  *jsonski.Cache
+	icache *jsonski.IndexCache // nil when disabled
+	pool   *workerPool
+	mux    *http.ServeMux
+	m      metrics
 }
 
 // New builds a Server and starts its worker pool.
@@ -78,6 +85,9 @@ func New(cfg Config) *Server {
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		mux:   http.NewServeMux(),
 	}
+	if cfg.IndexCacheBytes >= 0 {
+		s.icache = jsonski.NewIndexCache(cfg.IndexCacheBytes)
+	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /multi", s.handleMulti)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -93,6 +103,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Cache exposes the compiled-query cache (shared with any embedding
 // code that wants to pre-warm it).
 func (s *Server) Cache() *jsonski.Cache { return s.cache }
+
+// IndexCache exposes the structural-index cache, or nil when disabled.
+func (s *Server) IndexCache() *jsonski.IndexCache { return s.icache }
 
 // Close drains and stops the worker pool. Call after http.Server
 // .Shutdown has returned so no request can still submit work.

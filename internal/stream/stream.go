@@ -49,8 +49,16 @@ func (m Meta) String() string { return string(metaByte[m]) }
 // Stream is a forward-only cursor over a single JSON input buffer.
 // The zero value is not usable; call New.
 type Stream struct {
-	data []byte
-	pos  int // absolute byte position, 0 <= pos <= len(data)
+	data  []byte
+	pos   int // absolute byte position, 0 <= pos <= limit
+	limit int // logical end of input: len(data), or the window end
+
+	// idx, when non-nil, is a borrowed prebuilt structural index: loadWord
+	// copies the word's masks out of it instead of running the SWAR
+	// classification pipeline, and fast-forwards jump without folding the
+	// intervening words through the string carry (the index already
+	// resolved string state for the whole buffer).
+	idx *Index
 
 	wordBase int // absolute position of bit 0 of the cached word
 	blk      bits.Block
@@ -76,14 +84,17 @@ type Stream struct {
 
 // New returns a stream positioned at byte 0 of data.
 func New(data []byte) *Stream {
-	s := &Stream{data: data, wordBase: -bits.WordSize}
+	s := &Stream{data: data, limit: len(data), wordBase: -bits.WordSize}
 	s.loadWord(0)
 	return s
 }
 
 // Reset re-targets the stream at a new buffer, reusing the allocation.
+// Any borrowed index from a previous ResetIndexed is dropped.
 func (s *Stream) Reset(data []byte) {
 	s.data = data
+	s.limit = len(data)
+	s.idx = nil
 	s.pos = 0
 	s.wordBase = -bits.WordSize
 	s.ec.Reset()
@@ -92,24 +103,77 @@ func (s *Stream) Reset(data []byte) {
 	s.loadWord(0)
 }
 
+// NewIndexed returns a stream over ix's buffer that borrows the prebuilt
+// structural index instead of computing masks word by word. The caller
+// must hold a reference on ix for the stream's lifetime.
+func NewIndexed(ix *Index) *Stream {
+	s := &Stream{}
+	s.ResetIndexed(ix)
+	return s
+}
+
+// ResetIndexed re-targets the stream at a prebuilt index, reusing the
+// allocation.
+func (s *Stream) ResetIndexed(ix *Index) {
+	s.ResetIndexedWindow(ix, 0, ix.Len())
+}
+
+// NewIndexedWindow returns a borrowing stream restricted to the window
+// [lo, hi) of ix's buffer: the cursor starts at lo and the stream
+// behaves as if input ended at hi (masks of the boundary word are
+// truncated). Positions remain absolute within the full buffer. The
+// window must start outside any JSON string.
+func NewIndexedWindow(ix *Index, lo, hi int) *Stream {
+	s := &Stream{}
+	s.ResetIndexedWindow(ix, lo, hi)
+	return s
+}
+
+// ResetIndexedWindow re-targets the stream at a window of a prebuilt
+// index, reusing the allocation.
+func (s *Stream) ResetIndexedWindow(ix *Index, lo, hi int) {
+	if hi > ix.Len() {
+		hi = ix.Len()
+	}
+	if lo > hi {
+		lo = hi
+	}
+	s.data = ix.data
+	s.limit = hi
+	s.idx = ix
+	s.pos = lo
+	s.wordBase = -bits.WordSize
+	s.ec.Reset()
+	s.sc.Reset()
+	s.WordsProcessed = 0
+	s.loadWord(lo &^ (bits.WordSize - 1))
+}
+
 // Data returns the underlying buffer.
 func (s *Stream) Data() []byte { return s.data }
 
-// Len returns the input length.
-func (s *Stream) Len() int { return len(s.data) }
+// Len returns the logical input length (the window end for windowed
+// streams).
+func (s *Stream) Len() int { return s.limit }
 
 // Pos returns the current absolute position.
 func (s *Stream) Pos() int { return s.pos }
 
 // EOF reports whether the cursor has consumed the whole input.
-func (s *Stream) EOF() bool { return s.pos >= len(s.data) }
+func (s *Stream) EOF() bool { return s.pos >= s.limit }
 
 // loadWord pulls words through the carry pipeline until the word starting
 // at base (a multiple of 64) is cached. base must be >= current wordBase.
+// With a borrowed index there are no carries to fold, so the target word
+// is loaded directly — skipped words are never touched.
 func (s *Stream) loadWord(base int) {
+	if s.idx != nil {
+		s.loadIndexedWord(base)
+		return
+	}
 	for s.wordBase < base {
 		s.wordBase += bits.WordSize
-		if s.wordBase >= len(s.data) {
+		if s.wordBase >= s.limit {
 			// Past EOF: empty masks, carries frozen.
 			s.blk = bits.Block{}
 			s.quotes = 0
@@ -125,8 +189,8 @@ func (s *Stream) loadWord(base int) {
 			return
 		}
 		end := s.wordBase + bits.WordSize
-		if end > len(s.data) {
-			end = len(s.data)
+		if end > s.limit {
+			end = s.limit
 		}
 		s.blk.Load(s.data[s.wordBase:end])
 		quotes, backslash := s.blk.QuoteAndBackslashMasks()
@@ -140,6 +204,46 @@ func (s *Stream) loadWord(base int) {
 	}
 }
 
+// loadIndexedWord caches the word starting at base straight out of the
+// borrowed index: every mask the lazy pipeline would compute on demand
+// is already materialized, so the word is fully resolved (have = all)
+// with a handful of loads. Masks of the word that straddles the window
+// end are truncated so structure past the window stays invisible.
+func (s *Stream) loadIndexedWord(base int) {
+	s.wordBase = base
+	s.have = 1<<NumMeta - 1
+	s.haveWS = true
+	s.haveStop = true
+	s.haveAttrStop = true
+	if base >= s.limit {
+		s.quotes = 0
+		s.inStr = 0
+		s.masks = [NumMeta]uint64{}
+		s.ws = 0
+		s.stop = 0
+		s.attrStop = 0
+		return
+	}
+	row := s.idx.row(base / bits.WordSize)
+	valid := ^uint64(0)
+	if rem := s.limit - base; rem < bits.WordSize {
+		valid = uint64(1)<<uint(rem) - 1
+	}
+	s.inStr = row[idxInStr] & valid
+	s.quotes = row[idxQuote] & valid
+	s.ws = row[idxWS] & valid
+	s.masks[LBrace] = row[idxLBrace] & valid
+	s.masks[RBrace] = row[idxRBrace] & valid
+	s.masks[LBracket] = row[idxLBracket] & valid
+	s.masks[RBracket] = row[idxRBracket] & valid
+	s.masks[Colon] = row[idxColon] & valid
+	s.masks[Comma] = row[idxComma] & valid
+	s.masks[Quote] = s.quotes
+	s.stop = s.masks[LBrace] | s.masks[LBracket] | s.masks[RBracket]
+	s.attrStop = s.masks[LBrace] | s.masks[LBracket] | s.masks[RBrace]
+	s.WordsProcessed++
+}
+
 // SetPos moves the cursor forward to absolute position p, folding any
 // skipped words through the string-mask carry. Moving backwards is a
 // programming error and panics.
@@ -147,8 +251,8 @@ func (s *Stream) SetPos(p int) {
 	if p < s.pos {
 		panic(fmt.Sprintf("stream: SetPos moving backwards (%d -> %d)", s.pos, p))
 	}
-	if p > len(s.data) {
-		p = len(s.data)
+	if p > s.limit {
+		p = s.limit
 	}
 	s.pos = p
 	base := p &^ (bits.WordSize - 1)
@@ -167,8 +271,8 @@ func (s *Stream) WordBase() int { return s.wordBase }
 // false when that would move past the end of input.
 func (s *Stream) NextWord() bool {
 	next := s.wordBase + bits.WordSize
-	if next >= len(s.data) {
-		s.pos = len(s.data)
+	if next >= s.limit {
+		s.pos = s.limit
 		return false
 	}
 	s.SetPos(next)
@@ -262,7 +366,7 @@ func (s *Stream) Current() byte { return s.data[s.pos] }
 func (s *Stream) SkipWS() (byte, bool) {
 	d := s.data
 	p := s.pos
-	for p < len(d) {
+	for p < s.limit {
 		switch c := d[p]; c {
 		case ' ', '\t', '\n', '\r':
 			p++
@@ -273,7 +377,7 @@ func (s *Stream) SkipWS() (byte, bool) {
 			return c, true
 		}
 	}
-	s.SetPos(len(d))
+	s.SetPos(s.limit)
 	return 0, false
 }
 
@@ -352,20 +456,20 @@ func (s *Stream) SkipPrimitive() (start, end int) {
 	for {
 		stop := s.MaskFrom(Comma) | s.MaskFrom(RBrace) | s.MaskFrom(RBracket) |
 			bits.ClearBelow(s.WhitespaceMask(), uint(s.pos-s.wordBase))
-		if rem := len(s.data) - s.wordBase; rem < bits.WordSize {
+		if rem := s.limit - s.wordBase; rem < bits.WordSize {
 			stop |= ^(uint64(1)<<uint(rem) - 1) // treat the padding as a stop
 		}
 		if stop != 0 {
 			end = s.wordBase + bits.TrailingZeros(stop)
-			if end > len(s.data) {
-				end = len(s.data)
+			if end > s.limit {
+				end = s.limit
 			}
 			s.SetPos(end)
 			return start, end
 		}
 		if !s.NextWord() {
-			s.pos = len(s.data)
-			return start, len(s.data)
+			s.pos = s.limit
+			return start, s.limit
 		}
 	}
 }

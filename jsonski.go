@@ -31,6 +31,7 @@ import (
 	"jsonski/internal/core"
 	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
+	"jsonski/internal/stream"
 )
 
 // Match is one value selected by the query. Value aliases the input
@@ -101,6 +102,7 @@ func (s *Stats) merge(o Stats) {
 // paths containing the descendant operator.
 type runner interface {
 	Run(data []byte, emit core.EmitFunc) (core.Stats, error)
+	RunIndexed(ix *stream.Index, emit core.EmitFunc) (core.Stats, error)
 }
 
 // Query is a compiled JSONPath expression. It is immutable and safe for
@@ -161,6 +163,27 @@ func (q *Query) Run(data []byte, fn func(Match)) (Stats, error) {
 		}
 	}
 	st, err := e.Run(data, emit)
+	var out Stats
+	out.add(st)
+	return out, err
+}
+
+// RunIndexed is Run over a prebuilt structural index of the buffer: the
+// engine borrows ix's materialized word masks instead of classifying
+// words on the fly, which pays off whenever the same document is
+// streamed more than once. The index must stay alive (not finally
+// Released) for the duration of the call.
+func (q *Query) RunIndexed(ix *Index, fn func(Match)) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	data := ix.Data()
+	var emit core.EmitFunc
+	if fn != nil {
+		emit = func(s, en int) {
+			fn(Match{Start: s, End: en, Value: data[s:en]})
+		}
+	}
+	st, err := e.RunIndexed(ix.ix, emit)
 	var out Stats
 	out.add(st)
 	return out, err
@@ -290,6 +313,33 @@ func (q *Query) RunParallel(data []byte, workers int, fn func(Match)) (Stats, er
 		}
 	}
 	st, err := pe.Run(data, emit)
+	var out Stats
+	out.add(st)
+	return out, err
+}
+
+// RunParallelIndexed is RunParallel over a prebuilt structural index.
+// With the index, element discovery needs no speculation — string state
+// is already resolved for every word, so chunk boundaries stitch with a
+// popcount prefix sum instead of polarity guessing and misprediction
+// re-scans — and each worker's shard evaluation borrows the same masks.
+// fn may be called concurrently, and match order is unspecified.
+func (q *Query) RunParallelIndexed(ix *Index, workers int, fn func(Match)) (Stats, error) {
+	if q.aut == nil || workers <= 1 {
+		return q.RunIndexed(ix, fn)
+	}
+	pe, err := core.NewParallelEngine(q.path, workers)
+	if err != nil {
+		return q.RunIndexed(ix, fn)
+	}
+	data := ix.Data()
+	var emit core.EmitFunc
+	if fn != nil {
+		emit = func(s, en int) {
+			fn(Match{Start: s, End: en, Value: data[s:en]})
+		}
+	}
+	st, err := pe.RunIndexed(ix.ix, emit)
 	var out Stats
 	out.add(st)
 	return out, err

@@ -83,6 +83,27 @@ func (qs *QuerySet) Run(data []byte, fn func(SetMatch)) (Stats, error) {
 	return out, err
 }
 
+// RunIndexed is Run over a prebuilt structural index of the buffer: the
+// one shared traversal also borrows ix's materialized word masks, so a
+// set of queries over a hot document pays neither per-query passes nor
+// per-word classification. The index must stay alive (not finally
+// Released) for the duration of the call.
+func (qs *QuerySet) RunIndexed(ix *Index, fn func(SetMatch)) (Stats, error) {
+	e := qs.pool.Get().(*core.MultiEngine)
+	defer qs.pool.Put(e)
+	data := ix.Data()
+	var emit core.MultiEmitFunc
+	if fn != nil {
+		emit = func(query, s, en int) {
+			fn(SetMatch{Query: query, Match: Match{Start: s, End: en, Value: data[s:en]}})
+		}
+	}
+	st, err := e.RunIndexed(ix.ix, emit)
+	var out Stats
+	out.add(st)
+	return out, err
+}
+
 // RunRecords evaluates all queries over a sequence of independent JSON
 // records sequentially with a single shared engine, invoking fn for
 // every match of every query. SetMatch.Record carries the record index.

@@ -62,6 +62,56 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, fn func(Match
 	}
 }
 
+// RunReader streams newline-delimited JSON records from r, evaluating
+// every query of the set against each record in one shared pass as soon
+// as its line is read. Blank lines are skipped. SetMatch.Value aliases
+// an internal per-record buffer that remains valid only for the
+// duration of the callback.
+func (qs *QuerySet) RunReader(r io.Reader, fn func(SetMatch)) (Stats, error) {
+	return qs.RunReaderContext(context.Background(), r, fn)
+}
+
+// RunReaderContext is the QuerySet RunReader with cancellation: the
+// loop stops between records as soon as ctx is done and returns
+// ctx.Err(). Engine errors are wrapped with the index of the offending
+// record.
+func (qs *QuerySet) RunReaderContext(ctx context.Context, r io.Reader, fn func(SetMatch)) (Stats, error) {
+	e := qs.pool.Get().(*core.MultiEngine)
+	defer qs.pool.Put(e)
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out Stats
+	recno := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		line, err := readLine(br)
+		if len(line) > 0 {
+			var emit core.MultiEmitFunc
+			if fn != nil {
+				i := recno
+				rec := line
+				emit = func(query, s, en int) {
+					fn(SetMatch{Query: query,
+						Match: Match{Start: s, End: en, Value: rec[s:en], Record: i}})
+				}
+			}
+			st, rerr := e.Run(line, emit)
+			out.add(st)
+			if rerr != nil {
+				return out, wrapRecordErr(recno, rerr)
+			}
+			recno++
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
 // readLine reads one newline-terminated record, handling lines longer
 // than the buffered reader's internal buffer and trimming whitespace.
 func readLine(br *bufio.Reader) ([]byte, error) {

@@ -21,6 +21,17 @@ func Valid(data []byte) bool {
 // Validate is Valid with a positioned error describing the first
 // syntactic problem found.
 func Validate(data []byte) error {
+	// The tokenizer classifies every byte below 0x21 as whitespace with a
+	// single lane compare (bits.WhitespaceFlags); RFC 8259 admits only
+	// space, tab, LF and CR. The other control bytes are invalid in any
+	// position — inside strings validateStringBody forbids them too — so
+	// one up-front scan rules them out without position context, keeping
+	// the tokenizer's fast path intact.
+	for i := 0; i < len(data); i++ {
+		if c := data[i]; c < 0x20 && c != '\t' && c != '\n' && c != '\r' {
+			return fmt.Errorf("jsonski: raw control character 0x%02x at %d", c, i)
+		}
+	}
 	s := stream.New(data)
 	b, ok := s.SkipWS()
 	if !ok {
@@ -49,10 +60,62 @@ func validateValue(s *stream.Stream, b byte, depth int) error {
 	case '[':
 		return validateArray(s, depth)
 	case '"':
-		return s.SkipString()
+		start := s.Pos()
+		body, err := s.ReadString()
+		if err != nil {
+			return err
+		}
+		return validateStringBody(body, start+1)
 	default:
 		return validatePrimitive(s)
 	}
+}
+
+// validateStringBody checks the content between a string's quotes:
+// raw control characters are forbidden (RFC 8259 §7), and every escape
+// must be one of \" \\ \/ \b \f \n \r \t or \u followed by four hex
+// digits. The engines skip these checks — the quote bitmap only needs
+// backslash parity — so validation must make up for them here to match
+// encoding/json.Valid. Bytes >= 0x80 pass through unexamined: like the
+// stdlib scanner, well-formedness of UTF-8 is not validation's concern.
+func validateStringBody(b []byte, at int) error {
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c < 0x20 {
+			return fmt.Errorf("jsonski: raw control character 0x%02x in string at %d", c, at+i)
+		}
+		if c != '\\' {
+			continue
+		}
+		i++
+		if i >= len(b) {
+			return fmt.Errorf("jsonski: unterminated escape at %d", at+i-1)
+		}
+		switch b[i] {
+		case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+		case 'u':
+			if i+4 >= len(b) || !isHex4(b[i+1:i+5]) {
+				return fmt.Errorf("jsonski: invalid \\u escape at %d", at+i-1)
+			}
+			i += 4
+		default:
+			return fmt.Errorf("jsonski: invalid escape %q at %d", b[i-1:i+1], at+i-1)
+		}
+	}
+	return nil
+}
+
+func isHex4(b []byte) bool {
+	for _, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'f':
+		case c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func validateObject(s *stream.Stream, depth int) error {
@@ -85,7 +148,12 @@ func validateObject(s *stream.Stream, depth int) error {
 		if b != '"' {
 			return fmt.Errorf("jsonski: expected attribute name at %d, got %q", s.Pos(), b)
 		}
-		if _, err := s.ReadString(); err != nil {
+		keyAt := s.Pos()
+		key, err := s.ReadString()
+		if err != nil {
+			return err
+		}
+		if err := validateStringBody(key, keyAt+1); err != nil {
 			return err
 		}
 		if err := s.Expect(':'); err != nil {
