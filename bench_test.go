@@ -669,3 +669,38 @@ func BenchmarkDescendant(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRunLarge is the benchmark-guard target: the plain disabled-
+// telemetry hot path over one large record (TT1-class query). The CI
+// bench-guard job compares this benchmark between the base and head
+// commits on the same runner and fails the build if the disabled path
+// regresses more than 2% — the explain/trace plumbing must stay a
+// single nil check when off.
+func BenchmarkRunLarge(b *testing.B) {
+	q, _ := queries.ByID("TT1")
+	data := largeData(b, q.Dataset)
+	cq := jsonski.MustCompile(q.Large)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.Count(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunLargeExplain is the same workload with the trace enabled,
+// quantifying the cost of explain mode (bounded by the event cap, so it
+// amortizes to near-zero on large inputs once the cap fills).
+func BenchmarkRunLargeExplain(b *testing.B) {
+	q, _ := queries.ByID("TT1")
+	data := largeData(b, q.Dataset)
+	cq := jsonski.MustCompile(q.Large)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.RunExplain(data, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,11 +5,16 @@
 //
 //	jsonski -q '$.place.name' file.json
 //	cat file.json | jsonski -q '$[*].text' -count -stats
+//	jsonski -q '$.store.book[2].title' -explain file.json
 //
 // With -records the input is treated as newline-delimited JSON (one
 // record per line), streamed rather than slurped, and -workers enables
-// parallel record processing. Malformed input exits non-zero with the
-// offending record named; Ctrl-C cancels cleanly between records.
+// parallel record processing; -stats then includes per-record latency
+// quantiles. With -explain (single-document input only) the fast-forward
+// movements are dumped to stderr: which function skipped which byte
+// range, charged to which paper group, in which automaton state.
+// Malformed input exits non-zero with the offending record named;
+// Ctrl-C cancels cleanly between records.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"jsonski"
+	"jsonski/internal/telemetry"
 )
 
 func main() {
@@ -36,19 +42,28 @@ func main() {
 		stats   = flag.Bool("stats", false, "print fast-forward statistics to stderr")
 		records = flag.Bool("records", false, "input is newline-delimited JSON records")
 		workers = flag.Int("workers", 1, "parallel workers for -records (0 = GOMAXPROCS)")
+		explain = flag.Bool("explain", false, "dump the fast-forward movement trace to stderr (single document only)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("jsonski", telemetry.BuildInfo().Version())
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *query, *count, *stats, *records, *workers, flag.Args()); err != nil {
+	if err := run(ctx, *query, *count, *stats, *records, *workers, *explain, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonski:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, query string, countOnly, showStats, records bool, workers int, args []string) error {
+func run(ctx context.Context, query string, countOnly, showStats, records bool, workers int, explain bool, args []string) error {
 	if query == "" {
 		return fmt.Errorf("missing -q query")
+	}
+	if explain && records {
+		return fmt.Errorf("-explain applies to single documents; drop -records or explain one record at a time")
 	}
 	q, err := jsonski.Compile(query)
 	if err != nil {
@@ -99,7 +114,11 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		st, err = q.Run(data, emit)
+		if explain {
+			st, err = q.RunExplain(data, 0, emit)
+		} else {
+			st, err = q.Run(data, emit)
+		}
 	}
 	elapsed := time.Since(start)
 	if err != nil {
@@ -114,6 +133,9 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 	if countOnly {
 		fmt.Fprintln(out, st.Matches)
 	}
+	if tr := st.Trace(); tr != nil {
+		tr.Dump(os.Stderr)
+	}
 	if showStats {
 		fmt.Fprintf(os.Stderr, "matches: %d\n", st.Matches)
 		fmt.Fprintf(os.Stderr, "input: %d bytes in %v (%.0f MB/s)\n",
@@ -121,6 +143,10 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 		fmt.Fprintf(os.Stderr, "fast-forwarded: %.2f%% of input\n", st.FastForwardRatio()*100)
 		for g := 0; g < 5; g++ {
 			fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%\n", g+1, st.GroupRatio(g)*100)
+		}
+		if lat := st.Latency(); lat != nil {
+			fmt.Fprintf(os.Stderr, "record latency: p50 %v  p90 %v  p99 %v  max %v (%d records)\n",
+				lat.P50(), lat.P90(), lat.P99(), lat.Max(), lat.Count)
 		}
 	}
 	if err := out.Flush(); err != nil {

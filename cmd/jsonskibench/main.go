@@ -32,6 +32,7 @@ import (
 	"jsonski/internal/gen"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/queries"
+	"jsonski/internal/telemetry"
 )
 
 func main() {
@@ -40,8 +41,13 @@ func main() {
 		size    = flag.String("size", "16MB", "dataset size (e.g. 64MB)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("jsonskibench", telemetry.BuildInfo().Version())
+		return
+	}
 	n, err := parseSize(*size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jsonskibench:", err)

@@ -8,13 +8,15 @@
 //	jsonskid -addr :8490
 //
 //	curl -sN 'localhost:8490/query?path=$.user.name' --data-binary @records.ndjson
+//	curl -sN 'localhost:8490/query?path=$.user.name&explain=1' --data-binary @records.ndjson
 //	curl -sN 'localhost:8490/multi?path=$.a&path=$.b' --data-binary @records.ndjson
 //	curl -s  'localhost:8490/metrics'
+//	curl -s  'localhost:8490/metrics/prom'
 //
 // Matches stream back as NDJSON lines {"record":n,"value":...} (plus a
 // "query" index on /multi), flushed record by record. SIGINT/SIGTERM
-// trigger a graceful shutdown: in-flight requests drain, then the
-// worker pool stops.
+// trigger a graceful shutdown: /readyz flips to 503, in-flight requests
+// drain, then the worker pool stops.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,19 +33,33 @@ import (
 	"time"
 
 	"jsonski/internal/server"
+	"jsonski/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8490", "listen address")
-		workers = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "bounded record-queue depth (0 = 4x workers)")
-		cache   = flag.Int("cache", 0, "compiled-query cache capacity (0 = default)")
-		maxBody = flag.Int64("max-body", 0, "request body byte cap (0 = 1 GiB, negative = unlimited)")
-		ixCache = flag.Int64("index-cache", 0, "structural-index cache byte budget (0 = 64 MiB, negative = disabled)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		addr      = flag.String("addr", ":8490", "listen address")
+		workers   = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "bounded record-queue depth (0 = 4x workers)")
+		cache     = flag.Int("cache", 0, "compiled-query cache capacity (0 = default)")
+		maxBody   = flag.Int64("max-body", 0, "request body byte cap (0 = 1 GiB, negative = unlimited)")
+		ixCache   = flag.Int64("index-cache", 0, "structural-index cache byte budget (0 = 64 MiB, negative = disabled)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this at WARN (0 = disabled)")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("jsonskid", telemetry.BuildInfo().Version())
+		return
+	}
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskid:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ln, err := net.Listen("tcp", *addr)
@@ -50,24 +67,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jsonskid:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "jsonskid: listening on %s\n", ln.Addr())
 	cfg := server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		MaxBodyBytes:    *maxBody,
 		IndexCacheBytes: *ixCache,
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
+		Pprof:           *pprofFlag,
 	}
-	if err := serve(ctx, ln, cfg, *drain); err != nil {
+	if logger != nil {
+		b := telemetry.BuildInfo()
+		logger.Info("starting",
+			"addr", ln.Addr().String(),
+			"go_version", b.GoVersion,
+			"revision", b.Revision,
+			"pprof", *pprofFlag,
+			"slow_query", *slowQuery,
+		)
+	} else {
+		fmt.Fprintf(os.Stderr, "jsonskid: listening on %s\n", ln.Addr())
+	}
+	if err := serve(ctx, ln, cfg, *drain, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonskid:", err)
 		os.Exit(1)
 	}
 }
 
+// newLogger builds the daemon's structured logger, or nil for "off"
+// (the server layer skips all log formatting on a nil logger).
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error, or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
 // serve runs the daemon on ln until ctx is cancelled, then shuts down
-// gracefully: stop accepting, drain in-flight requests (bounded by the
-// drain timeout), and only then stop the shared worker pool.
-func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.Duration) error {
+// gracefully: flip /readyz to 503, stop accepting, drain in-flight
+// requests (bounded by the drain timeout), and only then stop the
+// shared worker pool.
+func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
 	s := server.New(cfg)
 	hs := &http.Server{Handler: s}
 	errCh := make(chan error, 1)
@@ -78,6 +131,10 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.D
 		return err
 	case <-ctx.Done():
 	}
+	if logger != nil {
+		logger.Info("shutdown begun", "drain", drain)
+	}
+	s.BeginShutdown()
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := hs.Shutdown(sctx)
@@ -85,5 +142,8 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.D
 		err = serr
 	}
 	s.Close()
+	if logger != nil {
+		logger.Info("shutdown complete", "err", err)
+	}
 	return err
 }

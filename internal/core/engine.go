@@ -17,6 +17,7 @@ import (
 	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
+	"jsonski/internal/telemetry"
 )
 
 // EmitFunc receives each match as a half-open byte range of the input.
@@ -74,6 +75,19 @@ type Engine struct {
 	// and cannot be disabled independently; use DisableFastForward for
 	// the all-off ablation.
 	DisabledGroups uint8
+
+	// trace, when non-nil, receives one event per fast-forward movement
+	// plus the automaton state at each descent (explain mode). The
+	// disabled path is a nil check per object/array frame.
+	trace *telemetry.Trace
+}
+
+// SetTrace binds (or with nil unbinds) an explain trace to the engine.
+func (e *Engine) SetTrace(t *telemetry.Trace) {
+	e.trace = t
+	if e.ff != nil {
+		e.ff.Trace = t
+	}
 }
 
 // groupOn reports whether fast-forward group g (1-based) is enabled.
@@ -96,6 +110,7 @@ func (e *Engine) Run(data []byte, emit EmitFunc) (Stats, error) {
 		e.s.Reset(data)
 		e.ff.Reset(e.s)
 	}
+	e.ff.Trace = e.trace
 	return e.finish(emit, int64(len(data)))
 }
 
@@ -118,6 +133,7 @@ func (e *Engine) RunIndexedWindow(ix *stream.Index, lo, hi int, emit EmitFunc) (
 		e.s.ResetIndexedWindow(ix, lo, hi)
 		e.ff.Reset(e.s)
 	}
+	e.ff.Trace = e.trace
 	return e.finish(emit, int64(hi-lo))
 }
 
@@ -194,6 +210,9 @@ func (e *Engine) run() error {
 func (e *Engine) object(q int) error {
 	s := e.s
 	s.Advance(1) // consume '{'
+	if e.trace != nil {
+		e.trace.State = q
+	}
 	if !e.aut.IsObjectState(q) {
 		// The pending step is an array step: nothing inside this object
 		// can match. (Callers filter on type, so this only happens for
@@ -227,6 +246,9 @@ func (e *Engine) object(q int) error {
 			if err := e.descend(r.VType, q2, false); err != nil {
 				return err
 			}
+			if e.trace != nil {
+				e.trace.State = q // back in this frame after the descent
+			}
 		}
 		if status != automaton.Unmatched && !anyChild && e.groupOn(4) {
 			// G4: attribute names are unique, so no further attribute
@@ -240,6 +262,9 @@ func (e *Engine) object(q int) error {
 func (e *Engine) array(q int) error {
 	s := e.s
 	s.Advance(1) // consume '['
+	if e.trace != nil {
+		e.trace.State = q
+	}
 	if !e.aut.IsArrayState(q) {
 		return e.ff.GoToAryEnd()
 	}
@@ -290,6 +315,9 @@ func (e *Engine) array(q int) error {
 		default: // Matched
 			if err := e.descend(r.VType, q2, true); err != nil {
 				return err
+			}
+			if e.trace != nil {
+				e.trace.State = q // back in this frame after the descent
 			}
 		}
 	}

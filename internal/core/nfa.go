@@ -8,6 +8,7 @@ import (
 	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
+	"jsonski/internal/telemetry"
 )
 
 // NFAEngine evaluates paths containing the descendant operator `..`
@@ -30,6 +31,19 @@ type NFAEngine struct {
 
 	matches int64
 	depth   int
+
+	// trace, when non-nil, records fast-forward events (explain mode).
+	// Event.State carries the live NFA state-set bitmask, not a single
+	// DFA state.
+	trace *telemetry.Trace
+}
+
+// SetTrace binds (or with nil unbinds) an explain trace to the engine.
+func (e *NFAEngine) SetTrace(t *telemetry.Trace) {
+	e.trace = t
+	if e.ff != nil {
+		e.ff.Trace = t
+	}
 }
 
 // maxNFADepth bounds recursion: unlike the DFA engine, whose recursion
@@ -60,6 +74,7 @@ func (e *NFAEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 		e.s.Reset(data)
 		e.ff.Reset(e.s)
 	}
+	e.ff.Trace = e.trace
 	return e.finish(emit, int64(len(data)))
 }
 
@@ -76,6 +91,7 @@ func (e *NFAEngine) RunIndexed(ix *stream.Index, emit EmitFunc) (Stats, error) {
 		e.s.ResetIndexed(ix)
 		e.ff.Reset(e.s)
 	}
+	e.ff.Trace = e.trace
 	return e.finish(emit, int64(ix.Len()))
 }
 
@@ -174,6 +190,9 @@ func (e *NFAEngine) nextSetIndex(set stateSet, idx int) stateSet {
 // If the accept bit is in the set the caller has already decided to emit.
 func (e *NFAEngine) value(b byte, set stateSet) error {
 	s := e.s
+	if e.trace != nil {
+		e.trace.State = int(set)
+	}
 	switch b {
 	case '{':
 		if set == 0 {

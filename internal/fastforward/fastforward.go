@@ -29,6 +29,7 @@ import (
 	"jsonski/internal/bits"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
+	"jsonski/internal/telemetry"
 )
 
 // Group identifies which fast-forward group a movement is charged to, for
@@ -84,20 +85,33 @@ func (st *Stats) Ratio(n int64) (perGroup [NumGroups]float64, overall float64) {
 type FF struct {
 	S     *stream.Stream
 	Stats Stats
+
+	// Trace, when non-nil, receives one bounded event per fast-forward
+	// movement (explain mode). The disabled path pays a single nil check
+	// inside charge — nothing else — so production runs are unaffected
+	// (enforced by the benchmark guard on BenchmarkRunLarge).
+	Trace *telemetry.Trace
 }
 
 // New returns fast-forward functions over s.
 func New(s *stream.Stream) *FF { return &FF{S: s} }
 
-// Reset rebinds the cursor and clears statistics.
+// Reset rebinds the cursor and clears statistics. The trace binding, if
+// any, is owned by the engine and survives the reset.
 func (f *FF) Reset(s *stream.Stream) {
 	f.S = s
 	f.Stats = Stats{}
 }
 
-func (f *FF) charge(g Group, n int) {
-	if n > 0 {
-		f.Stats.SkippedBytes[g] += int64(n)
+// charge accounts the movement over [start, end) to group g, recording
+// an explain event when tracing is on. op names the paper's fast-forward
+// function so a trace reads like Table 1.
+func (f *FF) charge(g Group, start, end int, op string) {
+	if end > start {
+		f.Stats.SkippedBytes[g] += int64(end - start)
+		if f.Trace != nil {
+			f.Trace.Record(int(g), op, start, end)
+		}
 	}
 }
 
@@ -149,7 +163,7 @@ func (f *FF) GoOverObj(g Group) error {
 	if err := f.skipBalanced(stream.LBrace, stream.RBrace, 1); err != nil {
 		return err
 	}
-	f.charge(g, f.S.Pos()-start)
+	f.charge(g, start, f.S.Pos(), "GoOverObj")
 	return nil
 }
 
@@ -163,7 +177,7 @@ func (f *FF) GoOverAry(g Group) error {
 	if err := f.skipBalanced(stream.LBracket, stream.RBracket, 1); err != nil {
 		return err
 	}
-	f.charge(g, f.S.Pos()-start)
+	f.charge(g, start, f.S.Pos(), "GoOverAry")
 	return nil
 }
 
@@ -187,7 +201,7 @@ func (f *FF) GoToObjEnd() error {
 	if err := f.skipBalanced(stream.LBrace, stream.RBrace, 1); err != nil {
 		return err
 	}
-	f.charge(G4, f.S.Pos()-start)
+	f.charge(G4, start, f.S.Pos(), "GoToObjEnd")
 	return nil
 }
 
@@ -198,7 +212,7 @@ func (f *FF) GoToAryEnd() error {
 	if err := f.skipBalanced(stream.LBracket, stream.RBracket, 1); err != nil {
 		return err
 	}
-	f.charge(G5, f.S.Pos()-start)
+	f.charge(G5, start, f.S.Pos(), "GoToAryEnd")
 	return nil
 }
 
@@ -206,23 +220,23 @@ func (f *FF) GoToAryEnd() error {
 // cursor, leaving the cursor ON the terminating ',' or '}' and reporting
 // which terminated it.
 func (f *FF) GoOverPriAttr(g Group) (term byte, err error) {
-	return f.goOverPrimitive(g, stream.RBrace)
+	return f.goOverPrimitive(g, stream.RBrace, "GoOverPriAttr")
 }
 
 // GoOverPriElem skips the primitive array element starting at the cursor,
 // leaving the cursor ON the terminating ',' or ']'.
 func (f *FF) GoOverPriElem(g Group) (term byte, err error) {
-	return f.goOverPrimitive(g, stream.RBracket)
+	return f.goOverPrimitive(g, stream.RBracket, "GoOverPriElem")
 }
 
-func (f *FF) goOverPrimitive(g Group, closer stream.Meta) (byte, error) {
+func (f *FF) goOverPrimitive(g Group, closer stream.Meta, op string) (byte, error) {
 	s := f.S
 	start := s.Pos()
 	p, m := s.NextMeta2(stream.Comma, closer)
 	if p < 0 {
 		return 0, fmt.Errorf("fastforward: unterminated primitive at %d", start)
 	}
-	f.charge(g, p-start)
+	f.charge(g, start, p, op)
 	return m.Byte(), nil
 }
 
@@ -245,7 +259,7 @@ func (f *FF) GoOverObjOut() (Span, error) {
 	if err := f.skipBalanced(stream.LBrace, stream.RBrace, 1); err != nil {
 		return Span{}, err
 	}
-	f.charge(G3, f.S.Pos()-start)
+	f.charge(G3, start, f.S.Pos(), "GoOverObjOut")
 	return Span{start, f.S.Pos()}, nil
 }
 
@@ -260,22 +274,22 @@ func (f *FF) GoOverAryOut() (Span, error) {
 	if err := f.skipBalanced(stream.LBracket, stream.RBracket, 1); err != nil {
 		return Span{}, err
 	}
-	f.charge(G3, f.S.Pos()-start)
+	f.charge(G3, start, f.S.Pos(), "GoOverAryOut")
 	return Span{start, f.S.Pos()}, nil
 }
 
 // GoOverPriAttrOut / GoOverPriElemOut skip a primitive value, returning
 // its whitespace-trimmed span and leaving the cursor ON the terminator.
 func (f *FF) GoOverPriAttrOut() (Span, byte, error) {
-	return f.goOverPrimitiveOut(stream.RBrace)
+	return f.goOverPrimitiveOut(stream.RBrace, "GoOverPriAttrOut")
 }
 
 // GoOverPriElemOut is the array-element counterpart of GoOverPriAttrOut.
 func (f *FF) GoOverPriElemOut() (Span, byte, error) {
-	return f.goOverPrimitiveOut(stream.RBracket)
+	return f.goOverPrimitiveOut(stream.RBracket, "GoOverPriElemOut")
 }
 
-func (f *FF) goOverPrimitiveOut(closer stream.Meta) (Span, byte, error) {
+func (f *FF) goOverPrimitiveOut(closer stream.Meta, op string) (Span, byte, error) {
 	s := f.S
 	start := s.Pos()
 	p, m := s.NextMeta2(stream.Comma, closer)
@@ -287,7 +301,7 @@ func (f *FF) goOverPrimitiveOut(closer stream.Meta) (Span, byte, error) {
 	for end > start && isWS(data[end-1]) {
 		end--
 	}
-	f.charge(G3, p-start)
+	f.charge(G3, start, p, op)
 	return Span{start, end}, m.Byte(), nil
 }
 
@@ -364,8 +378,8 @@ func (f *FF) NextAttr(expected jsonpath.ValueType) (AttrResult, error) {
 			}
 		}
 		// Charge the skipped name region too; the value movement above
-		// charged itself.
-		f.charge(G1, len(name)+3)
+		// charged itself. (The +3 covers the name's quotes and colon.)
+		f.charge(G1, nameStart, nameStart+len(name)+3, "NextAttr")
 	}
 }
 
@@ -447,13 +461,13 @@ func (f *FF) skipPrimitiveRun(g Group, maxCommas int) (int, error) {
 			k := maxCommas - commas
 			p := s.WordBase() + bits.SelectBit(cm, k)
 			s.SetPos(p + 1)
-			f.charge(g, s.Pos()-start)
+			f.charge(g, start, s.Pos(), "GoOverPriElems")
 			return maxCommas, nil
 		}
 		commas += n
 		if stopPos >= 0 {
 			s.SetPos(s.WordBase() + stopPos)
-			f.charge(g, s.Pos()-start)
+			f.charge(g, start, s.Pos(), "GoOverPriElems")
 			return commas, nil
 		}
 		if !s.NextWord() {
@@ -490,7 +504,7 @@ func (f *FF) GoOverElems(k int) (skipped int, ended bool, err error) {
 			s.Advance(1)
 			crossed++
 			sawValue = false
-			f.charge(G5, s.Pos()-start)
+			f.charge(G5, start, s.Pos(), "GoOverElems")
 		case '{':
 			if err := f.GoOverObj(G5); err != nil {
 				return crossed, false, err
@@ -540,7 +554,7 @@ func (f *FF) nextTypedAttr(expected jsonpath.ValueType) (AttrResult, error) {
 				return AttrResult{}, fmt.Errorf("fastforward: EOF inside object")
 			}
 		}
-		f.charge(G1, p-start)
+		f.charge(G1, start, p, "GoOverPriAttrs")
 		switch c {
 		case '}':
 			s.Advance(1)

@@ -9,16 +9,28 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"time"
 
 	"jsonski"
 )
 
+// Explain-mode event caps: a single record's trace is bounded at
+// perRecordExplainEvents, and the whole response trailer at
+// maxExplainEvents — adversarial inputs (one skip per byte) cost a
+// bounded amount of memory per request no matter the body size.
+const (
+	perRecordExplainEvents = 512
+	maxExplainEvents       = 4096
+)
+
 // recResult is one record's rendered output: the NDJSON lines for its
-// matches, or the evaluation error.
+// matches, or the evaluation error. trace is non-nil only in explain
+// mode.
 type recResult struct {
-	idx int
-	out []byte
-	err error
+	idx   int
+	out   []byte
+	err   error
+	trace *jsonski.Trace
 }
 
 // evalFunc evaluates one record and renders its match lines. It runs on
@@ -29,10 +41,23 @@ type evalFunc func(rec []byte, idx int) recResult
 // handles NDJSON stream records (each line is seen once; indexing it
 // would be pure overhead); evalIndexed handles single-document
 // requests through the structural-index cache, so repeated queries
-// over a hot document reuse its word masks.
+// over a hot document reuse its word masks. In explain mode (explain
+// set) eval records a fast-forward trace and evalIndexed is unused:
+// explain runs bypass the index cache so the trace reflects exactly
+// the movements of this evaluation.
 type evaluator struct {
 	eval        evalFunc
 	evalIndexed func(ix *jsonski.Index, idx int) recResult
+	explain     bool
+}
+
+// explainRequested reports whether the request opted into explain mode.
+func explainRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -47,16 +72,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
+	if explainRequested(r) {
+		s.serve(w, r, evaluator{
+			explain: true,
+			eval: func(rec []byte, idx int) recResult {
+				var buf bytes.Buffer
+				t0 := time.Now()
+				st, err := q.RunExplain(rec, perRecordExplainEvents, queryLine(&buf, idx))
+				s.m.recordLatency.Observe(time.Since(t0))
+				s.m.addStats(st)
+				return recResult{idx: idx, out: buf.Bytes(), err: err, trace: st.Trace()}
+			},
+		})
+		return
+	}
 	s.serve(w, r, evaluator{
 		eval: func(rec []byte, idx int) recResult {
 			var buf bytes.Buffer
+			t0 := time.Now()
 			st, err := q.Run(rec, queryLine(&buf, idx))
+			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
 			return recResult{idx: idx, out: buf.Bytes(), err: err}
 		},
 		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
 			var buf bytes.Buffer
+			t0 := time.Now()
 			st, err := q.RunIndexed(ix, queryLine(&buf, idx))
+			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
 			return recResult{idx: idx, out: buf.Bytes(), err: err}
 		},
@@ -81,6 +124,13 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusBadRequest, errors.New("missing ?path= query parameters"))
 		return
 	}
+	if explainRequested(r) {
+		// The shared-pass MultiEngine interleaves all queries' movements;
+		// per-query attribution would be misleading, so explain is a
+		// /query-only feature.
+		s.jsonError(w, http.StatusBadRequest, errors.New("explain is not supported on /multi; use /query"))
+		return
+	}
 	qs, err := s.cache.QuerySet(paths...)
 	if err != nil {
 		s.jsonError(w, http.StatusBadRequest, err)
@@ -89,13 +139,17 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 	s.serve(w, r, evaluator{
 		eval: func(rec []byte, idx int) recResult {
 			var buf bytes.Buffer
+			t0 := time.Now()
 			st, err := qs.Run(rec, multiLine(&buf, idx))
+			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
 			return recResult{idx: idx, out: buf.Bytes(), err: err}
 		},
 		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
 			var buf bytes.Buffer
+			t0 := time.Now()
 			st, err := qs.RunIndexed(ix, multiLine(&buf, idx))
+			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
 			return recResult{idx: idx, out: buf.Bytes(), err: err}
 		},
@@ -131,7 +185,52 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, ev evaluator) {
 		s.serveSingle(w, r, body, ev)
 		return
 	}
-	s.streamRecords(w, r, body, ev.eval)
+	s.streamRecords(w, r, body, ev)
+}
+
+// explainEvent is one trailer event: a public trace event tagged with
+// the record it came from.
+type explainEvent struct {
+	Record int `json:"record"`
+	jsonski.TraceEvent
+}
+
+// explainTrail accumulates the bounded explain trailer of a response.
+type explainTrail struct {
+	events  []explainEvent
+	dropped int
+}
+
+// add folds one record's trace in, enforcing the global event cap.
+func (t *explainTrail) add(idx int, tr *jsonski.Trace) {
+	if tr == nil {
+		return
+	}
+	t.dropped += tr.Dropped
+	for _, e := range tr.Events {
+		if len(t.events) >= maxExplainEvents {
+			t.dropped++
+			continue
+		}
+		t.events = append(t.events, explainEvent{Record: idx, TraceEvent: e})
+	}
+}
+
+// line renders the trailer as one NDJSON line.
+func (t *explainTrail) line() []byte {
+	var out struct {
+		Explain struct {
+			Events  []explainEvent `json:"events"`
+			Dropped int            `json:"dropped"`
+		} `json:"explain"`
+	}
+	out.Explain.Events = t.events
+	if out.Explain.Events == nil {
+		out.Explain.Events = []explainEvent{}
+	}
+	out.Explain.Dropped = t.dropped
+	b, _ := json.Marshal(out)
+	return append(b, '\n')
 }
 
 // serveSingle evaluates the whole body as one record. With the index
@@ -150,11 +249,13 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 		return
 	}
 	var res recResult
-	if s.icache != nil {
+	if s.icache != nil && !ev.explain {
 		ix := s.icache.Get(data)
 		res = ev.evalIndexed(ix, 0)
 		ix.Release()
 	} else {
+		// Explain runs bypass the index cache: the trace should describe
+		// this evaluation's movements, not a cached index's.
 		res = ev.eval(data, 0)
 	}
 	if res.err != nil {
@@ -164,6 +265,11 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	s.write(w, res.out)
+	if ev.explain {
+		var trail explainTrail
+		trail.add(0, res.trace)
+		s.write(w, trail.line())
+	}
 }
 
 // streamRecords pipelines an NDJSON body through the worker pool with a
@@ -178,7 +284,8 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 // NDJSON records are independent, so a malformed record does not abort
 // the stream: it becomes a {"record":n,"error":...} line (counted in
 // /metrics) and evaluation continues with the next record.
-func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, body io.Reader, eval evalFunc) {
+func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, body io.Reader, ev evaluator) {
+	eval := ev.eval
 	ctx := r.Context()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
@@ -226,8 +333,12 @@ func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, body io.R
 	wroteAny := false
 	linesOpen := true
 
+	var trail explainTrail
 	flush := func() { _ = rc.Flush() }
 	writeResult := func(res recResult) {
+		if ev.explain {
+			trail.add(res.idx, res.trace)
+		}
 		if res.err != nil {
 			s.m.recordErrors.Add(1)
 			s.writeErrorLine(w, res.idx, res.err)
@@ -296,6 +407,13 @@ loop:
 			return
 		}
 		s.requestErrorMidStream(w, wroteAny, err)
+		return
+	}
+	if ev.explain && ctx.Err() == nil {
+		// The explain trailer is the stream's last line, present even
+		// when no record produced a match.
+		s.write(w, trail.line())
+		flush()
 		return
 	}
 	if !wroteAny {

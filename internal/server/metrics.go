@@ -3,16 +3,20 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"jsonski"
 	"jsonski/internal/fastforward"
+	"jsonski/internal/telemetry"
 )
 
 // metrics holds the server's live counters, expvar-style: individually
-// atomic monotonic counters (plus one in-flight gauge), readable at any
-// time without locks. Engine counters are fed from jsonski.Stats as each
-// record finishes, so /metrics reflects requests still in progress.
+// atomic monotonic counters (plus one in-flight gauge) and lock-free
+// latency histograms, readable at any time without locks. Engine
+// counters are fed from jsonski.Stats as each record finishes, so
+// /metrics reflects requests still in progress.
 type metrics struct {
 	queryRequests  atomic.Int64
 	multiRequests  atomic.Int64
@@ -26,9 +30,21 @@ type metrics struct {
 	skipped        [fastforward.NumGroups]atomic.Int64
 	recordErrors   atomic.Int64
 	cancelledReads atomic.Int64
+
+	// queryLatency and multiLatency time whole requests per endpoint
+	// (observed in ServeHTTP); recordLatency times individual record
+	// evaluations across both endpoints (observed in the eval closures).
+	queryLatency  telemetry.Histogram
+	multiLatency  telemetry.Histogram
+	recordLatency telemetry.Histogram
 }
 
-// addStats folds one record evaluation into the engine counters.
+// addStats folds one record evaluation into the engine counters. Write
+// order matters for snapshot consistency: input bytes are published
+// before the skipped-byte groups, so a snapshot that reads the groups
+// first (see snapshot) can pair each group with an input total at least
+// as new — derived skip ratios can undershoot briefly but never exceed
+// reality.
 func (m *metrics) addStats(st jsonski.Stats) {
 	m.records.Add(1)
 	m.matches.Add(st.Matches)
@@ -40,7 +56,32 @@ func (m *metrics) addStats(st jsonski.Stats) {
 	}
 }
 
-// metricsSnapshot is the JSON document served at GET /metrics.
+// latencyJSON is one histogram rendered for the JSON snapshot.
+type latencyJSON struct {
+	Count  int64 `json:"count"`
+	SumNs  int64 `json:"sum_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+}
+
+func latencyFrom(s telemetry.HistSnapshot) latencyJSON {
+	return latencyJSON{
+		Count:  s.Count,
+		SumNs:  s.SumNanos,
+		MaxNs:  s.MaxNanos,
+		MeanNs: int64(s.Mean()),
+		P50Ns:  int64(s.Quantile(0.50)),
+		P90Ns:  int64(s.Quantile(0.90)),
+		P99Ns:  int64(s.Quantile(0.99)),
+	}
+}
+
+// metricsSnapshot is the JSON document served at GET /metrics. New
+// sections are appended at the end so the established field order stays
+// byte-compatible for existing consumers.
 type metricsSnapshot struct {
 	Requests struct {
 		Query    int64 `json:"query"`
@@ -85,33 +126,63 @@ type metricsSnapshot struct {
 		QueueDepth    int `json:"queue_depth"`
 		QueueCapacity int `json:"queue_capacity"`
 	} `json:"workers"`
+	Latency struct {
+		Query  latencyJSON `json:"query"`
+		Multi  latencyJSON `json:"multi"`
+		Record latencyJSON `json:"record"`
+	} `json:"latency"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Build         struct {
+		GoVersion string `json:"go_version"`
+		Revision  string `json:"revision,omitempty"`
+		Modified  bool   `json:"modified,omitempty"`
+	} `json:"build"`
 }
 
-func (s *Server) snapshot() metricsSnapshot {
-	var out metricsSnapshot
+// promSnapshot bundles everything the exposition surfaces derive their
+// samples from: the shared JSON snapshot plus the raw histogram
+// snapshots it was rendered from. Both metrics handlers read the live
+// atomics exactly once, through this struct, so the two surfaces can
+// never disagree with themselves within one scrape.
+type promSnapshot struct {
+	metricsSnapshot
+	queryLatency  telemetry.HistSnapshot
+	multiLatency  telemetry.HistSnapshot
+	recordLatency telemetry.HistSnapshot
+}
+
+// snapshot is the single reader of the live metric atomics. Load order
+// pairs with addStats's write order: the per-group skipped counters are
+// read before matches, records, and (last) the engine input-byte total,
+// so every derived ratio divides a possibly-stale numerator by an
+// at-least-as-fresh denominator — a scrape racing a record can read a
+// ratio that is momentarily low, never one above the true value.
+func (s *Server) snapshot() promSnapshot {
+	var out promSnapshot
+	for g := range s.m.skipped {
+		out.Engine.SkippedBytes[g] = s.m.skipped[g].Load()
+	}
+	out.Engine.RecordErrors = s.m.recordErrors.Load()
+	out.Engine.Matches = s.m.matches.Load()
+	out.Engine.Records = s.m.records.Load()
+	out.Engine.InputBytes = s.m.engineInBytes.Load()
+
+	var st jsonski.Stats
+	st.Matches = out.Engine.Matches
+	st.InputBytes = out.Engine.InputBytes
+	st.SkippedBytes = out.Engine.SkippedBytes
+	out.Engine.FastForwardRatio = st.FastForwardRatio()
+	out.Engine.GroupRatios = make([]float64, len(st.SkippedBytes))
+	for g := range st.SkippedBytes {
+		out.Engine.GroupRatios[g] = st.GroupRatio(g)
+	}
+
 	out.Requests.Query = s.m.queryRequests.Load()
 	out.Requests.Multi = s.m.multiRequests.Load()
 	out.Requests.Errors = s.m.requestErrors.Load()
 	out.Requests.InFlight = s.m.inFlight.Load()
 	out.IO.BytesIn = s.m.bytesIn.Load()
 	out.IO.BytesOut = s.m.bytesOut.Load()
-
-	var st jsonski.Stats
-	st.Matches = s.m.matches.Load()
-	st.InputBytes = s.m.engineInBytes.Load()
-	for g := range s.m.skipped {
-		st.SkippedBytes[g] = s.m.skipped[g].Load()
-	}
-	out.Engine.Records = s.m.records.Load()
-	out.Engine.RecordErrors = s.m.recordErrors.Load()
-	out.Engine.Matches = st.Matches
-	out.Engine.InputBytes = st.InputBytes
-	out.Engine.SkippedBytes = st.SkippedBytes
-	out.Engine.FastForwardRatio = st.FastForwardRatio()
-	out.Engine.GroupRatios = make([]float64, len(st.SkippedBytes))
-	for g := range st.SkippedBytes {
-		out.Engine.GroupRatios[g] = st.GroupRatio(g)
-	}
 
 	cs := s.cache.Stats()
 	out.Cache.Hits = cs.Hits
@@ -137,12 +208,25 @@ func (s *Server) snapshot() metricsSnapshot {
 	out.Workers.Count = s.pool.workers()
 	out.Workers.QueueDepth = s.pool.queueDepth()
 	out.Workers.QueueCapacity = s.pool.queueCap()
+
+	out.queryLatency = s.m.queryLatency.Snapshot()
+	out.multiLatency = s.m.multiLatency.Snapshot()
+	out.recordLatency = s.m.recordLatency.Snapshot()
+	out.Latency.Query = latencyFrom(out.queryLatency)
+	out.Latency.Multi = latencyFrom(out.multiLatency)
+	out.Latency.Record = latencyFrom(out.recordLatency)
+
+	out.UptimeSeconds = time.Since(s.start).Seconds()
+	b := telemetry.BuildInfo()
+	out.Build.GoVersion = b.GoVersion
+	out.Build.Revision = b.Revision
+	out.Build.Modified = b.Modified
 	return out
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	b, err := json.MarshalIndent(s.snapshot(), "", "  ")
+	b, err := json.MarshalIndent(s.snapshot().metricsSnapshot, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -150,7 +234,128 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.write(w, append(b, '\n'))
 }
 
+// handleProm serves GET /metrics/prom: the same counters as the JSON
+// snapshot — taken from the same single read of the atomics — in the
+// Prometheus text exposition format, plus the latency histograms in
+// native histogram form.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	p := telemetry.NewPromWriter(w)
+
+	p.Header("jsonski_requests_total", "Requests served, by endpoint.", "counter")
+	p.Int("jsonski_requests_total", []telemetry.Label{{Name: "endpoint", Value: "query"}}, snap.Requests.Query)
+	p.Int("jsonski_requests_total", []telemetry.Label{{Name: "endpoint", Value: "multi"}}, snap.Requests.Multi)
+	p.Header("jsonski_request_errors_total", "Requests or records that produced an error response or error line.", "counter")
+	p.Int("jsonski_request_errors_total", nil, snap.Requests.Errors)
+	p.Header("jsonski_in_flight_requests", "Evaluation requests currently being served.", "gauge")
+	p.Int("jsonski_in_flight_requests", nil, snap.Requests.InFlight)
+
+	p.Header("jsonski_io_bytes_total", "Bytes moved over HTTP, by direction.", "counter")
+	p.Int("jsonski_io_bytes_total", []telemetry.Label{{Name: "direction", Value: "in"}}, snap.IO.BytesIn)
+	p.Int("jsonski_io_bytes_total", []telemetry.Label{{Name: "direction", Value: "out"}}, snap.IO.BytesOut)
+
+	p.Header("jsonski_records_total", "JSON records evaluated.", "counter")
+	p.Int("jsonski_records_total", nil, snap.Engine.Records)
+	p.Header("jsonski_record_errors_total", "Records whose evaluation failed.", "counter")
+	p.Int("jsonski_record_errors_total", nil, snap.Engine.RecordErrors)
+	p.Header("jsonski_matches_total", "Values emitted by the query engines.", "counter")
+	p.Int("jsonski_matches_total", nil, snap.Engine.Matches)
+	p.Header("jsonski_engine_input_bytes_total", "Bytes handed to the query engines.", "counter")
+	p.Int("jsonski_engine_input_bytes_total", nil, snap.Engine.InputBytes)
+	p.Header("jsonski_skipped_bytes_total", "Bytes fast-forwarded over, by paper group G1..G5.", "counter")
+	for g, v := range snap.Engine.SkippedBytes {
+		p.Int("jsonski_skipped_bytes_total",
+			[]telemetry.Label{{Name: "group", Value: fastforward.Group(g).String()}}, v)
+	}
+	p.Header("jsonski_fast_forward_ratio", "Fraction of engine input bytes fast-forwarded over.", "gauge")
+	p.Value("jsonski_fast_forward_ratio", nil, snap.Engine.FastForwardRatio)
+	p.Header("jsonski_cancelled_reads_total", "Request bodies abandoned because the client went away.", "counter")
+	p.Int("jsonski_cancelled_reads_total", nil, s.m.cancelledReads.Load())
+
+	p.Header("jsonski_cache_events_total", "Compiled-query cache events.", "counter")
+	for _, e := range []struct {
+		ev string
+		v  int64
+	}{{"hit", snap.Cache.Hits}, {"miss", snap.Cache.Misses}, {"eviction", snap.Cache.Evictions}} {
+		p.Int("jsonski_cache_events_total", []telemetry.Label{{Name: "event", Value: e.ev}}, e.v)
+	}
+	p.Header("jsonski_cache_entries", "Compiled queries resident in the LRU cache.", "gauge")
+	p.Int("jsonski_cache_entries", nil, int64(snap.Cache.Size))
+	p.Header("jsonski_cache_hit_ratio", "Compiled-query cache hit ratio.", "gauge")
+	p.Value("jsonski_cache_hit_ratio", nil, snap.Cache.HitRate)
+
+	p.Header("jsonski_index_cache_enabled", "Whether the structural-index cache is enabled.", "gauge")
+	p.Int("jsonski_index_cache_enabled", nil, boolGauge(snap.IndexCache.Enabled))
+	if snap.IndexCache.Enabled {
+		p.Header("jsonski_index_cache_events_total", "Structural-index cache events.", "counter")
+		for _, e := range []struct {
+			ev string
+			v  int64
+		}{{"hit", snap.IndexCache.Hits}, {"miss", snap.IndexCache.Misses}, {"eviction", snap.IndexCache.Evictions}} {
+			p.Int("jsonski_index_cache_events_total", []telemetry.Label{{Name: "event", Value: e.ev}}, e.v)
+		}
+		p.Header("jsonski_index_cache_bytes", "Bytes of documents resident in the structural-index cache.", "gauge")
+		p.Int("jsonski_index_cache_bytes", nil, snap.IndexCache.Bytes)
+		p.Header("jsonski_index_cache_hit_ratio", "Structural-index cache hit ratio.", "gauge")
+		p.Value("jsonski_index_cache_hit_ratio", nil, snap.IndexCache.HitRate)
+	}
+
+	p.Header("jsonski_workers", "Evaluation worker goroutines.", "gauge")
+	p.Int("jsonski_workers", nil, int64(snap.Workers.Count))
+	p.Header("jsonski_worker_queue_depth", "Accepted-but-unstarted record evaluations.", "gauge")
+	p.Int("jsonski_worker_queue_depth", nil, int64(snap.Workers.QueueDepth))
+	p.Header("jsonski_worker_queue_capacity", "Worker queue capacity.", "gauge")
+	p.Int("jsonski_worker_queue_capacity", nil, int64(snap.Workers.QueueCapacity))
+
+	p.Header("jsonski_request_duration_seconds", "Whole-request latency, by endpoint.", "histogram")
+	p.Histogram("jsonski_request_duration_seconds",
+		[]telemetry.Label{{Name: "endpoint", Value: "query"}}, snap.queryLatency)
+	p.Histogram("jsonski_request_duration_seconds",
+		[]telemetry.Label{{Name: "endpoint", Value: "multi"}}, snap.multiLatency)
+	p.Header("jsonski_record_duration_seconds", "Single-record evaluation latency.", "histogram")
+	p.Histogram("jsonski_record_duration_seconds", nil, snap.recordLatency)
+
+	p.Header("jsonski_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.Value("jsonski_uptime_seconds", nil, snap.UptimeSeconds)
+	b := telemetry.BuildInfo()
+	p.Header("jsonski_build_info", "Build metadata; the value is always 1.", "gauge")
+	p.Int("jsonski_build_info", []telemetry.Label{
+		{Name: "go_version", Value: b.GoVersion},
+		{Name: "revision", Value: b.Revision},
+		{Name: "modified", Value: strconv.FormatBool(b.Modified)},
+	}, 1)
+
+	_ = p.Flush()
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.write(w, []byte("ok\n"))
+}
+
+// handleReadyz serves the readiness probe: 200 while the server is
+// accepting work, 503 once BeginShutdown has been called or while the
+// worker queue is fully saturated (submitting would block), so load
+// balancers drain and route around an overloaded instance.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.down.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		s.write(w, []byte("shutting down\n"))
+		return
+	}
+	if s.pool.queueDepth() >= s.pool.queueCap() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		s.write(w, []byte("worker queue saturated\n"))
+		return
+	}
 	s.write(w, []byte("ok\n"))
 }

@@ -8,12 +8,19 @@
 //	POST /query?path=$.a.b   evaluate one path; body is NDJSON (default)
 //	                         or a single JSON record (Content-Type:
 //	                         application/json); matches stream back as
-//	                         NDJSON lines {"record":n,"value":...}
+//	                         NDJSON lines {"record":n,"value":...}.
+//	                         With ?explain=1 the response ends with an
+//	                         {"explain":...} trailer listing the
+//	                         fast-forward movements (bounded event log).
 //	POST /multi?path=..&path=..  evaluate several paths in one shared
 //	                         pass per record (jsonski.QuerySet); lines
 //	                         gain a "query" index field
-//	GET  /metrics            live counters (see metricsSnapshot)
-//	GET  /healthz            liveness probe
+//	GET  /metrics            live counters as JSON (see metricsSnapshot)
+//	GET  /metrics/prom       the same counters plus latency histograms in
+//	                         the Prometheus text exposition format
+//	GET  /healthz            liveness probe (process is up)
+//	GET  /readyz             readiness probe: 503 once shutdown has begun
+//	                         or while the worker queue is saturated
 //
 // Records of an NDJSON body are fanned out across the worker pool and
 // their results written back in input order, flushed record by record,
@@ -23,9 +30,12 @@ package server
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"jsonski"
 )
@@ -51,6 +61,14 @@ type Config struct {
 	// re-classifying the buffer. 0 means jsonski.DefaultIndexCacheBytes,
 	// negative disables the cache.
 	IndexCacheBytes int64
+	// Logger receives structured access and error logs. nil disables
+	// request logging entirely (the handlers never format log records).
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any request slower than this at
+	// Warn level (requires Logger).
+	SlowQuery time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
 }
 
 // DefaultMaxBodyBytes is the request-body cap used when
@@ -66,6 +84,9 @@ type Server struct {
 	pool   *workerPool
 	mux    *http.ServeMux
 	m      metrics
+	start  time.Time
+	down   atomic.Bool // readiness: set once shutdown begins
+	log    *slog.Logger
 }
 
 // New builds a Server and starts its worker pool.
@@ -84,6 +105,8 @@ func New(cfg Config) *Server {
 		cache: jsonski.NewCache(cfg.CacheSize),
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		mux:   http.NewServeMux(),
+		start: time.Now(),
+		log:   cfg.Logger,
 	}
 	if cfg.IndexCacheBytes >= 0 {
 		s.icache = jsonski.NewIndexCache(cfg.IndexCacheBytes)
@@ -91,14 +114,65 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /multi", s.handleMulti)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/prom", s.handleProm)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: the mux wrapped with per-request
+// timing, the access log, and the slow-query log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	t0 := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(t0)
+	switch r.URL.Path {
+	case "/query":
+		s.m.queryLatency.Observe(dur)
+	case "/multi":
+		s.m.multiLatency.Observe(dur)
+	}
+	if s.log == nil {
+		return
+	}
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"query", r.URL.RawQuery,
+		"status", sw.status,
+		"duration", dur,
+		"remote", r.RemoteAddr,
+	}
+	if s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery &&
+		(r.URL.Path == "/query" || r.URL.Path == "/multi") {
+		s.log.Warn("slow query", attrs...)
+	} else {
+		s.log.Info("request", attrs...)
+	}
 }
+
+// statusWriter captures the response status for the access log. Unwrap
+// lets http.NewResponseController reach the underlying writer's Flush
+// and full-duplex controls, which the streaming handlers depend on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // Cache exposes the compiled-query cache (shared with any embedding
 // code that wants to pre-warm it).
@@ -106,6 +180,11 @@ func (s *Server) Cache() *jsonski.Cache { return s.cache }
 
 // IndexCache exposes the structural-index cache, or nil when disabled.
 func (s *Server) IndexCache() *jsonski.IndexCache { return s.icache }
+
+// BeginShutdown flips /readyz to 503 so load balancers stop routing new
+// work here. Call before http.Server.Shutdown; in-flight requests are
+// unaffected.
+func (s *Server) BeginShutdown() { s.down.Store(true) }
 
 // Close drains and stops the worker pool. Call after http.Server
 // .Shutdown has returned so no request can still submit work.

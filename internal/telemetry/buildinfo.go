@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build describes the running binary: toolchain and, when the binary
+// was built inside a git checkout, the VCS revision stamped by the Go
+// tool. Served by both metrics surfaces and the -version flags.
+type Build struct {
+	GoVersion string // runtime.Version()
+	Revision  string // vcs.revision, "" when not built from VCS
+	Modified  bool   // vcs.modified: the working tree was dirty
+	Time      string // vcs.time, RFC 3339, "" when unknown
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo reads the binary's build metadata once and caches it.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			}
+		}
+	})
+	return buildInfo
+}
+
+// Version renders a one-line human-readable version string for -version
+// flags, e.g. "abc1234 (modified) go1.24.0" or "devel go1.24.0".
+func (b Build) Version() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "devel"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += " (modified)"
+	}
+	return rev + " " + b.GoVersion
+}

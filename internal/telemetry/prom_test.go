@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterSamples(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Header("x_total", "help text", "counter")
+	p.Int("x_total", nil, 42)
+	p.Header("y", "a gauge", "gauge")
+	p.Value("y", []Label{{"group", "G1"}, {"kind", "a"}}, 0.5)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP x_total help text\n" +
+		"# TYPE x_total counter\n" +
+		"x_total 42\n" +
+		"# HELP y a gauge\n" +
+		"# TYPE y gauge\n" +
+		`y{group="G1",kind="a"} 0.5` + "\n"
+	if buf.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Value("m", []Label{{"q", "a\"b\\c\nd"}}, 1)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{q="a\"b\\c\nd"} 1` + "\n"
+	if buf.String() != want {
+		t.Errorf("escaped output %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPromHelpEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Header("m", "line1\nline2 \\ done", "gauge")
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `line1\nline2 \\ done`) {
+		t.Errorf("HELP not escaped: %q", buf.String())
+	}
+}
+
+// TestPromHistogramExposition checks the invariants Prometheus requires
+// of a histogram family: cumulative monotone buckets, an le="+Inf"
+// bucket equal to _count, and _sum in seconds.
+func TestPromHistogramExposition(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Microsecond, 50 * time.Microsecond,
+		time.Millisecond, 20 * time.Millisecond, time.Second} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Header("lat_seconds", "latency", "histogram")
+	p.Histogram("lat_seconds", []Label{{"endpoint", "query"}}, s)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		prev    int64 = -1
+		infSeen bool
+		infVal  int64
+		count   int64 = -1
+		lastLe  float64
+	)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "lat_seconds_bucket{"):
+			open := strings.Index(line, `le="`) + len(`le="`)
+			close := strings.Index(line[open:], `"`) + open
+			le := line[open:close]
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket value in %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not cumulative: %d after %d in %q", v, prev, line)
+			}
+			prev = v
+			if le == "+Inf" {
+				infSeen, infVal = true, v
+			} else {
+				f, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("unparsable le %q: %v", le, err)
+				}
+				if f <= lastLe {
+					t.Errorf("le boundaries not increasing: %v after %v", f, lastLe)
+				}
+				lastLe = f
+			}
+			if !strings.Contains(line, `endpoint="query"`) {
+				t.Errorf("bucket line lost its labels: %q", line)
+			}
+		case strings.HasPrefix(line, "lat_seconds_count"):
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, "lat_seconds_sum"):
+			sum, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatalf("bad sum: %v", err)
+			}
+			wantSum := float64(s.SumNanos) / 1e9
+			if sum < wantSum*0.999 || sum > wantSum*1.001 {
+				t.Errorf("sum = %v s, want ~%v s", sum, wantSum)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no le=\"+Inf\" bucket")
+	}
+	if count != 5 || infVal != count {
+		t.Errorf("count=%d infBucket=%d, want both 5", count, infVal)
+	}
+}

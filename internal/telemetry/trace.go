@@ -1,0 +1,77 @@
+package telemetry
+
+// Event is one recorded fast-forward movement: which group and function
+// moved the cursor, over which byte range, and the automaton state the
+// engine was in at the time. For the NFA engine State holds the live
+// state-set bitmask instead of a single DFA state.
+type Event struct {
+	Group      int    // 0-based fast-forward group (0 ↔ G1 ... 4 ↔ G5)
+	Op         string // fast-forward function name
+	Start, End int    // half-open byte range the movement covered
+	State      int    // automaton state (or NFA state-set bits)
+}
+
+// DefaultTraceLimit is the event cap used when NewTrace is given a
+// non-positive limit. Adversarial inputs (say, a million one-byte
+// primitives) generate one event per skip, so the cap — not the input —
+// bounds a trace's memory.
+const DefaultTraceLimit = 4096
+
+// Trace is a bounded event log recorded by the fast-forward layer when
+// explain mode is on. It is owned by a single engine and is not safe
+// for concurrent use; the engine publishes it only after the run ends.
+//
+// The disabled path is a nil *Trace: the fast-forward layer performs a
+// single nil check per charge and nothing else, so running without
+// explain costs nothing measurable (enforced by the benchmark guard).
+type Trace struct {
+	// State is the automaton state the engine last reported; Record
+	// copies it into each event. The engine updates it as it descends.
+	State int
+
+	events  []Event
+	limit   int
+	dropped int
+}
+
+// NewTrace returns a trace holding at most limit events (DefaultTraceLimit
+// when limit <= 0). The event slice is allocated lazily on first Record.
+func NewTrace(limit int) *Trace {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Trace{limit: limit}
+}
+
+// Record appends one event, or counts it as dropped once the cap is hit.
+func (t *Trace) Record(group int, op string, start, end int) {
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	if t.events == nil {
+		n := t.limit
+		if n > 256 {
+			n = 256
+		}
+		t.events = make([]Event, 0, n)
+	}
+	t.events = append(t.events, Event{Group: group, Op: op, Start: start, End: end, State: t.State})
+}
+
+// Events returns the recorded events. The slice aliases the trace's
+// internal storage and is invalidated by Reset.
+func (t *Trace) Events() []Event { return t.events }
+
+// Dropped returns how many events were discarded beyond the cap.
+func (t *Trace) Dropped() int { return t.dropped }
+
+// Limit returns the event cap.
+func (t *Trace) Limit() int { return t.limit }
+
+// Reset clears the log for reuse, keeping the cap and storage.
+func (t *Trace) Reset() {
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.State = 0
+}

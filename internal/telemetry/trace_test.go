@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+func TestTraceRecordsEvents(t *testing.T) {
+	tr := NewTrace(10)
+	tr.State = 3
+	tr.Record(0, "GoOverObj", 5, 40)
+	tr.State = 4
+	tr.Record(3, "GoToObjEnd", 41, 100)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0] != (Event{Group: 0, Op: "GoOverObj", Start: 5, End: 40, State: 3}) {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if ev[1] != (Event{Group: 3, Op: "GoToObjEnd", Start: 41, End: 100, State: 4}) {
+		t.Errorf("event 1 = %+v", ev[1])
+	}
+}
+
+func TestTraceCapBoundsAdversarialInput(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 100; i++ {
+		tr.Record(1, "GoOverPriElem", i, i+1)
+	}
+	if len(tr.Events()) != 4 {
+		t.Fatalf("events = %d, want cap 4", len(tr.Events()))
+	}
+	if tr.Dropped() != 96 {
+		t.Fatalf("dropped = %d, want 96", tr.Dropped())
+	}
+}
+
+func TestTraceDefaultLimit(t *testing.T) {
+	if got := NewTrace(0).Limit(); got != DefaultTraceLimit {
+		t.Fatalf("default limit = %d, want %d", got, DefaultTraceLimit)
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Record(0, "x", 0, 1)
+	tr.Record(0, "x", 1, 2)
+	tr.Record(0, "x", 2, 3)
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 || tr.State != 0 {
+		t.Fatalf("reset did not clear: %d events, %d dropped, state %d",
+			len(tr.Events()), tr.Dropped(), tr.State)
+	}
+	tr.Record(0, "y", 0, 1)
+	if len(tr.Events()) != 1 {
+		t.Fatalf("trace unusable after reset")
+	}
+}

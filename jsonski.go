@@ -32,6 +32,7 @@ import (
 	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
+	"jsonski/internal/telemetry"
 )
 
 // Match is one value selected by the query. Value aliases the input
@@ -56,7 +57,20 @@ type Stats struct {
 	InputBytes int64
 	// SkippedBytes counts fast-forwarded bytes per group G1..G5.
 	SkippedBytes [5]int64
+
+	trace   *Trace
+	latency *LatencySnapshot
 }
+
+// Trace returns the bounded fast-forward event log recorded by an
+// explain-mode run (RunExplain), or nil for ordinary runs.
+func (s Stats) Trace() *Trace { return s.trace }
+
+// Latency returns the per-record evaluation-latency distribution
+// recorded by the streaming reader entry points (RunReader and friends),
+// or nil for single-buffer runs, which have exactly one latency — the
+// call's own duration.
+func (s Stats) Latency() *LatencySnapshot { return s.latency }
 
 // FastForwardRatio is the fraction of input bytes that were
 // fast-forwarded over rather than parsed (paper Table 6, "Overall").
@@ -88,12 +102,21 @@ func (s *Stats) add(st core.Stats) {
 	}
 }
 
-// merge folds another aggregate into s.
+// merge folds another aggregate into s. Trace and latency attachments
+// are carried over when s has none of its own.
 func (s *Stats) merge(o Stats) {
 	s.Matches += o.Matches
 	s.InputBytes += o.InputBytes
 	for g := range s.SkippedBytes {
 		s.SkippedBytes[g] += o.SkippedBytes[g]
+	}
+	if s.trace == nil {
+		s.trace = o.trace
+	}
+	if s.latency == nil {
+		s.latency = o.latency
+	} else if o.latency != nil {
+		s.latency.merge(*o.latency)
 	}
 }
 
@@ -103,6 +126,7 @@ func (s *Stats) merge(o Stats) {
 type runner interface {
 	Run(data []byte, emit core.EmitFunc) (core.Stats, error)
 	RunIndexed(ix *stream.Index, emit core.EmitFunc) (core.Stats, error)
+	SetTrace(t *telemetry.Trace)
 }
 
 // Query is a compiled JSONPath expression. It is immutable and safe for

@@ -6,8 +6,10 @@ import (
 	"context"
 	"io"
 	"sync"
+	"time"
 
 	"jsonski/internal/core"
+	"jsonski/internal/telemetry"
 )
 
 // RunReader streams newline-delimited JSON records from r, evaluating the
@@ -31,9 +33,11 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, fn func(Match
 	defer q.pool.Put(e)
 	br := bufio.NewReaderSize(r, 1<<16)
 	var out Stats
+	var lat telemetry.Histogram
 	recno := 0
 	for {
 		if err := ctx.Err(); err != nil {
+			out.latency = readerLatency(&lat)
 			return out, err
 		}
 		line, err := readLine(br)
@@ -46,20 +50,35 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, fn func(Match
 					fn(Match{Start: s, End: en, Value: rec[s:en], Record: i})
 				}
 			}
+			t0 := time.Now()
 			st, rerr := e.Run(line, emit)
+			lat.Observe(time.Since(t0))
 			out.add(st)
 			if rerr != nil {
+				out.latency = readerLatency(&lat)
 				return out, wrapRecordErr(recno, rerr)
 			}
 			recno++
 		}
 		if err == io.EOF {
+			out.latency = readerLatency(&lat)
 			return out, nil
 		}
 		if err != nil {
+			out.latency = readerLatency(&lat)
 			return out, err
 		}
 	}
+}
+
+// readerLatency snapshots a per-record histogram for Stats.Latency,
+// eliding empty runs.
+func readerLatency(h *telemetry.Histogram) *LatencySnapshot {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return nil
+	}
+	return latencyFromSnapshot(s)
 }
 
 // RunReader streams newline-delimited JSON records from r, evaluating
@@ -80,9 +99,11 @@ func (qs *QuerySet) RunReaderContext(ctx context.Context, r io.Reader, fn func(S
 	defer qs.pool.Put(e)
 	br := bufio.NewReaderSize(r, 1<<16)
 	var out Stats
+	var lat telemetry.Histogram
 	recno := 0
 	for {
 		if err := ctx.Err(); err != nil {
+			out.latency = readerLatency(&lat)
 			return out, err
 		}
 		line, err := readLine(br)
@@ -96,17 +117,22 @@ func (qs *QuerySet) RunReaderContext(ctx context.Context, r io.Reader, fn func(S
 						Match: Match{Start: s, End: en, Value: rec[s:en], Record: i}})
 				}
 			}
+			t0 := time.Now()
 			st, rerr := e.Run(line, emit)
+			lat.Observe(time.Since(t0))
 			out.add(st)
 			if rerr != nil {
+				out.latency = readerLatency(&lat)
 				return out, wrapRecordErr(recno, rerr)
 			}
 			recno++
 		}
 		if err == io.EOF {
+			out.latency = readerLatency(&lat)
 			return out, nil
 		}
 		if err != nil {
+			out.latency = readerLatency(&lat)
 			return out, err
 		}
 	}
@@ -142,6 +168,7 @@ func (q *Query) RunReaderParallelContext(ctx context.Context, r io.Reader, worke
 	var (
 		wg      sync.WaitGroup
 		accum   core.StatsAccum
+		lat     telemetry.Histogram // atomic: shared across workers
 		errOnce sync.Once
 		outErr  error
 	)
@@ -159,7 +186,9 @@ func (q *Query) RunReaderParallelContext(ctx context.Context, r io.Reader, worke
 						fn(Match{Start: s, End: en, Value: t.rec[s:en], Record: t.i})
 					}
 				}
+				t0 := time.Now()
 				st, err := e.Run(t.rec, emit)
+				lat.Observe(time.Since(t0))
 				accum.Add(st)
 				if err != nil {
 					errOnce.Do(func() { outErr = wrapRecordErr(t.i, err) })
@@ -200,6 +229,7 @@ dispatch:
 	wg.Wait()
 	var out Stats
 	out.add(accum.Load())
+	out.latency = readerLatency(&lat)
 	if outErr == nil {
 		outErr = readErr
 	}

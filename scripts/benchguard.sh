@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# benchguard.sh BASE.txt HEAD.txt [MAX_REGRESSION_PCT]
+#
+# Compares the mean ns/op of BenchmarkRunLarge between two `go test
+# -bench` output files and fails when the head mean regresses more than
+# MAX_REGRESSION_PCT (default 2) over the base mean. Both files must be
+# produced on the SAME machine in the SAME CI run — cross-machine
+# comparisons are noise, which is why the checked-in bench_baseline.txt
+# is informational only.
+set -euo pipefail
+
+base_file=${1:?usage: benchguard.sh BASE.txt HEAD.txt [MAX_PCT]}
+head_file=${2:?usage: benchguard.sh BASE.txt HEAD.txt [MAX_PCT]}
+max_pct=${3:-2}
+
+mean() {
+    awk '/^BenchmarkRunLarge[ \t]/ { sum += $3; n++ }
+         END { if (n == 0) { print "no BenchmarkRunLarge samples" > "/dev/stderr"; exit 1 }
+               printf "%.0f\n", sum / n }' "$1"
+}
+
+base_mean=$(mean "$base_file")
+head_mean=$(mean "$head_file")
+
+awk -v base="$base_mean" -v head="$head_mean" -v max="$max_pct" 'BEGIN {
+    delta = (head - base) * 100.0 / base
+    printf "BenchmarkRunLarge mean: base %.0f ns/op, head %.0f ns/op, delta %+.2f%% (limit +%s%%)\n",
+           base, head, delta, max
+    if (delta > max) {
+        print "FAIL: disabled-telemetry hot path regressed beyond the limit" > "/dev/stderr"
+        exit 1
+    }
+    print "OK: within limit"
+}'
