@@ -20,6 +20,7 @@ package jsonski_test
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -684,6 +685,44 @@ func BenchmarkRunLarge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cq.Count(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunLargeSinkBuffered and BenchmarkRunLargeSinkStream compare
+// the two output modes on the bench-guard workload with allocation
+// accounting: the buffered mode copies every matched value out of the
+// input, the streaming mode writes spans straight from the input buffer
+// to a writer and must stay allocation-free per match. The stream
+// variant is a bench-guard target alongside BenchmarkRunLarge (see
+// scripts/benchguard.sh).
+func BenchmarkRunLargeSinkBuffered(b *testing.B) {
+	q, _ := queries.ByID("TT1")
+	data := largeData(b, q.Dataset)
+	cq := jsonski.MustCompile(q.Large)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink jsonski.BufferSink
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if _, err := cq.RunSink(data, &sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLargeSinkStream(b *testing.B) {
+	q, _ := queries.ByID("TT1")
+	data := largeData(b, q.Dataset)
+	cq := jsonski.MustCompile(q.Large)
+	sink := jsonski.NewStreamSink(io.Discard)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.RunSink(data, sink); err != nil {
 			b.Fatal(err)
 		}
 	}

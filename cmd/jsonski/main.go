@@ -85,9 +85,14 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 	}
 
 	out := bufio.NewWriter(os.Stdout)
+	// Matched values stream from the input buffer straight to stdout; the
+	// mutex-guarded callback form exists only for the parallel record
+	// path, where matches arrive from several goroutines.
+	var sink jsonski.Sink
 	var emit func(m jsonski.Match)
-	var mu sync.Mutex
 	if !countOnly {
+		sink = jsonski.NewStreamSink(out)
+		var mu sync.Mutex
 		emit = func(m jsonski.Match) {
 			mu.Lock()
 			out.Write(m.Value)
@@ -104,7 +109,11 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		st, err = q.RunReaderParallelContext(ctx, in, workers, emit)
+		if workers == 1 {
+			st, err = q.RunReaderSink(ctx, in, sink)
+		} else {
+			st, err = q.RunReaderParallelContext(ctx, in, workers, emit)
+		}
 	} else {
 		var data []byte
 		data, err = io.ReadAll(bufio.NewReader(in))
@@ -117,7 +126,7 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 		if explain {
 			st, err = q.RunExplain(data, 0, emit)
 		} else {
-			st, err = q.Run(data, emit)
+			st, err = q.RunSink(data, sink)
 		}
 	}
 	elapsed := time.Since(start)

@@ -172,6 +172,28 @@ func FuzzDifferential(f *testing.F) {
 			t.Fatalf("indexed engine %q over %q: %v", expr, data, err)
 		}
 		compareMatches(t, "indexed engine vs DOM baseline", expr, data, indexed, want)
+
+		// Output modes: a Tee drives the buffered and zero-copy streaming
+		// sinks from one evaluation; their renderings must be
+		// byte-identical, and the buffered values must be the callback
+		// matches.
+		var bufSink jsonski.BufferSink
+		var streamed bytes.Buffer
+		if _, err := q.RunSink(data, jsonski.Tee(&bufSink, jsonski.NewStreamSink(&streamed))); err != nil {
+			t.Fatalf("sink run %q over %q: %v", expr, data, err)
+		}
+		var rendered bytes.Buffer
+		sunk := make([]string, 0, len(bufSink.Values))
+		for _, v := range bufSink.Values {
+			rendered.Write(v)
+			rendered.WriteByte('\n')
+			sunk = append(sunk, string(bytes.TrimSpace(v)))
+		}
+		if !bytes.Equal(rendered.Bytes(), streamed.Bytes()) {
+			t.Fatalf("buffered and streaming sinks diverge for %q over %q:\n buffered %q\n streamed %q",
+				expr, data, rendered.Bytes(), streamed.Bytes())
+		}
+		compareMatches(t, "buffered sink vs callback", expr, data, sunk, lazy)
 	})
 }
 

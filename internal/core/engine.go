@@ -5,9 +5,10 @@
 // substructure irrelevant.
 //
 // The engine's recursion *is* the automaton's stack (paper §3.1): each
-// object()/array() frame holds the automaton state for its nesting level,
-// so the [Key]/[Val]/[Ary-S]/[Ary-E] push/pop rules reduce to function
-// call and return.
+// driver frame holds the automaton state for its nesting level, so the
+// [Key]/[Val]/[Ary-S]/[Ary-E] push/pop rules reduce to function call and
+// return. The descent itself lives in driver.go, shared by every engine;
+// this file supplies the single-state DFA policy.
 package core
 
 import (
@@ -17,7 +18,6 @@ import (
 	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
-	"jsonski/internal/telemetry"
 )
 
 // EmitFunc receives each match as a half-open byte range of the input.
@@ -48,14 +48,16 @@ func (st Stats) GroupRatios() [fastforward.NumGroups]float64 {
 	return per
 }
 
+// none is the accept payload of single-query policies: the span itself
+// identifies the match, so nothing extra travels from matchKey to
+// emitMatch.
+type none = struct{}
+
 // Engine evaluates one compiled query over byte buffers. An Engine is
 // reusable but not safe for concurrent use; create one per goroutine.
 type Engine struct {
-	aut       *automaton.Automaton
-	s         *stream.Stream
-	ff        *fastforward.FF
-	emit      EmitFunc
-	emitCount *int64
+	cursor
+	aut *automaton.Automaton
 
 	// DisableFastForward switches the engine to plain recursive-descent
 	// streaming (paper Algorithm 1): every token is parsed and fed to the
@@ -75,19 +77,6 @@ type Engine struct {
 	// and cannot be disabled independently; use DisableFastForward for
 	// the all-off ablation.
 	DisabledGroups uint8
-
-	// trace, when non-nil, receives one event per fast-forward movement
-	// plus the automaton state at each descent (explain mode). The
-	// disabled path is a nil check per object/array frame.
-	trace *telemetry.Trace
-}
-
-// SetTrace binds (or with nil unbinds) an explain trace to the engine.
-func (e *Engine) SetTrace(t *telemetry.Trace) {
-	e.trace = t
-	if e.ff != nil {
-		e.ff.Trace = t
-	}
 }
 
 // groupOn reports whether fast-forward group g (1-based) is enabled.
@@ -103,14 +92,7 @@ func NewEngine(a *automaton.Automaton) *Engine {
 // Run evaluates the query over a single JSON record, invoking emit for
 // every match.
 func (e *Engine) Run(data []byte, emit EmitFunc) (Stats, error) {
-	if e.s == nil {
-		e.s = stream.New(data)
-		e.ff = fastforward.New(e.s)
-	} else {
-		e.s.Reset(data)
-		e.ff.Reset(e.s)
-	}
-	e.ff.Trace = e.trace
+	e.prepare(data)
 	return e.finish(emit, int64(len(data)))
 }
 
@@ -126,39 +108,16 @@ func (e *Engine) RunIndexed(ix *stream.Index, emit EmitFunc) (Stats, error) {
 // entry point of the parallel engine. Emitted positions are absolute
 // within the full buffer.
 func (e *Engine) RunIndexedWindow(ix *stream.Index, lo, hi int, emit EmitFunc) (Stats, error) {
-	if e.s == nil {
-		e.s = stream.NewIndexedWindow(ix, lo, hi)
-		e.ff = fastforward.New(e.s)
-	} else {
-		e.s.ResetIndexedWindow(ix, lo, hi)
-		e.ff.Reset(e.s)
-	}
-	e.ff.Trace = e.trace
+	e.prepareWindow(ix, lo, hi)
 	return e.finish(emit, int64(hi-lo))
 }
 
 // finish drives the prepared stream through the automaton and collects
 // statistics.
 func (e *Engine) finish(emit EmitFunc, inputBytes int64) (Stats, error) {
-	e.emit = emit
-	var matches int64
-	e.emitCount = &matches
-
+	e.begin(emit)
 	err := e.run()
-	st := Stats{
-		Matches:        matches,
-		InputBytes:     inputBytes,
-		Skipped:        e.ff.Stats,
-		WordsProcessed: e.s.WordsProcessed,
-	}
-	return st, err
-}
-
-func (e *Engine) emitSpan(start, end int) {
-	*e.emitCount++
-	if e.emit != nil {
-		e.emit(start, end)
-	}
+	return e.stats(inputBytes), err
 }
 
 func (e *Engine) run() error {
@@ -193,198 +152,72 @@ func (e *Engine) run() error {
 		if e.aut.RootType() == jsonpath.Array {
 			return nil // record type cannot match the query
 		}
-		return e.object(0)
+		return driveValue[int, int, none](&e.cursor, e, jsonpath.Object, 0, false)
 	case '[':
 		if e.aut.RootType() == jsonpath.Object {
 			return nil
 		}
-		return e.array(0)
+		return driveValue[int, int, none](&e.cursor, e, jsonpath.Array, 0, false)
 	default:
 		return nil // primitive record cannot match a multi-step query
 	}
 }
 
-// object evaluates the object whose '{' is under the cursor against
-// automaton state q (Algorithm 2). On return the cursor is just past the
-// matching '}'.
-func (e *Engine) object(q int) error {
-	s := e.s
-	s.Advance(1) // consume '{'
-	if e.trace != nil {
-		e.trace.State = q
-	}
+// ---- stepper policy: a single automaton state descends the values ----
+
+func (e *Engine) enterObject(q int) (int, jsonpath.ValueType, bool) {
 	if !e.aut.IsObjectState(q) {
 		// The pending step is an array step: nothing inside this object
-		// can match. (Callers filter on type, so this only happens for
-		// Unknown-typed values.)
-		return e.ff.GoToObjEnd()
+		// can match. (Callers filter on root type, so this only happens
+		// for Unknown-typed descents.)
+		return q, jsonpath.Unknown, false
 	}
 	expected := e.aut.TypeExpected(q)
 	if !e.groupOn(1) {
 		expected = jsonpath.Unknown // G1 ablation: no type filtering
 	}
-	anyChild := e.aut.Step(q).Kind == jsonpath.AnyChild
-	for {
-		r, err := e.ff.NextAttr(expected)
-		if err != nil {
-			return err
-		}
-		if r.End {
-			return nil
-		}
-		q2, status := e.aut.MatchKey(q, r.Name)
-		switch status {
-		case automaton.Unmatched:
-			if err := e.skipValue(r.VType, fastforward.G2, false); err != nil {
-				return err
-			}
-		case automaton.Accept:
-			if err := e.outputValue(r.VType, false); err != nil {
-				return err
-			}
-		default: // Matched: descend into the value
-			if err := e.descend(r.VType, q2, false); err != nil {
-				return err
-			}
-			if e.trace != nil {
-				e.trace.State = q // back in this frame after the descent
-			}
-		}
-		if status != automaton.Unmatched && !anyChild && e.groupOn(4) {
-			// G4: attribute names are unique, so no further attribute
-			// of this object can match.
-			return e.ff.GoToObjEnd()
-		}
-	}
+	return q, expected, true
 }
 
-// array evaluates the array whose '[' is under the cursor against state q.
-func (e *Engine) array(q int) error {
-	s := e.s
-	s.Advance(1) // consume '['
-	if e.trace != nil {
-		e.trace.State = q
-	}
+func (e *Engine) enterArray(q int) (int, jsonpath.ValueType, int, int, bool, bool) {
 	if !e.aut.IsArrayState(q) {
-		return e.ff.GoToAryEnd()
+		return q, jsonpath.Unknown, 0, 0, false, false
 	}
-	lo, hi, constrained := e.aut.Range(q)
 	expected := e.aut.TypeExpected(q)
 	if !e.groupOn(1) {
 		expected = jsonpath.Unknown
 	}
-	idx := 0
-	if constrained && lo > 0 && e.groupOn(5) {
-		// G5: fast-forward over the elements before the range.
-		_, ended, err := e.ff.GoOverElems(lo)
-		if err != nil {
-			return err
-		}
-		if ended {
-			return nil // array ended before the range began
-		}
-		idx = lo
+	lo, hi, constrained := e.aut.Range(q)
+	return q, expected, lo, hi, constrained && e.groupOn(5), true
+}
+
+func (e *Engine) matchKey(q int, name []byte) (child int, acc none, act action, done bool) {
+	q2, status := e.aut.MatchKey(q, name)
+	switch status {
+	case automaton.Unmatched:
+		return 0, acc, actSkip, false
+	case automaton.Accept:
+		act = actOutput
+	default: // Matched: descend into the value
+		child, act = q2, actDescend
 	}
-	for {
-		if constrained && idx >= hi && e.groupOn(5) {
-			// G5: everything after the range is irrelevant.
-			return e.ff.GoToAryEnd()
-		}
-		r, err := e.ff.NextElem(expected, idx)
-		if err != nil {
-			return err
-		}
-		if r.End {
-			return nil
-		}
-		idx = r.Index
-		if constrained && idx >= hi && e.groupOn(5) {
-			return e.ff.GoToAryEnd()
-		}
-		q2, status := e.aut.MatchIndex(q, idx)
-		switch status {
-		case automaton.Unmatched:
-			// Out-of-range element (G5 semantics).
-			if err := e.skipValue(r.VType, fastforward.G5, true); err != nil {
-				return err
-			}
-		case automaton.Accept:
-			if err := e.outputValue(r.VType, true); err != nil {
-				return err
-			}
-		default: // Matched
-			if err := e.descend(r.VType, q2, true); err != nil {
-				return err
-			}
-			if e.trace != nil {
-				e.trace.State = q // back in this frame after the descent
-			}
-		}
+	done = e.groupOn(4) && e.aut.Step(q).Kind != jsonpath.AnyChild
+	return child, acc, act, done
+}
+
+func (e *Engine) matchIndex(q, idx int) (child int, acc none, act action) {
+	q2, status := e.aut.MatchIndex(q, idx)
+	switch status {
+	case automaton.Unmatched:
+		// Out-of-range element (G5 semantics).
+		return 0, acc, actSkip
+	case automaton.Accept:
+		return 0, acc, actOutput
+	default:
+		return q2, acc, actDescend
 	}
 }
 
-// skipValue fast-forwards over the value under the cursor (G2/G5).
-// inArray selects the primitive terminator set: ','/']' for array
-// elements, ','/'}' for attribute values.
-func (e *Engine) skipValue(vt jsonpath.ValueType, g fastforward.Group, inArray bool) error {
-	switch vt {
-	case jsonpath.Object:
-		return e.ff.GoOverObj(g)
-	case jsonpath.Array:
-		return e.ff.GoOverAry(g)
-	default:
-		var err error
-		if inArray {
-			_, err = e.ff.GoOverPriElem(g)
-		} else {
-			_, err = e.ff.GoOverPriAttr(g)
-		}
-		return err
-	}
-}
+func (e *Engine) emitMatch(_ none, start, end int) { e.emitSpan(start, end) }
 
-// outputValue fast-forwards over the accepted value and emits it (G3).
-func (e *Engine) outputValue(vt jsonpath.ValueType, inArray bool) error {
-	switch vt {
-	case jsonpath.Object:
-		sp, err := e.ff.GoOverObjOut()
-		if err != nil {
-			return err
-		}
-		e.emitSpan(sp.Start, sp.End)
-	case jsonpath.Array:
-		sp, err := e.ff.GoOverAryOut()
-		if err != nil {
-			return err
-		}
-		e.emitSpan(sp.Start, sp.End)
-	default:
-		var (
-			sp  fastforward.Span
-			err error
-		)
-		if inArray {
-			sp, _, err = e.ff.GoOverPriElemOut()
-		} else {
-			sp, _, err = e.ff.GoOverPriAttrOut()
-		}
-		if err != nil {
-			return err
-		}
-		e.emitSpan(sp.Start, sp.End)
-	}
-	return nil
-}
-
-// descend recurses into a Matched value. A primitive value with steps
-// still pending is a dead end and is skipped (G2).
-func (e *Engine) descend(vt jsonpath.ValueType, q2 int, inArray bool) error {
-	switch vt {
-	case jsonpath.Object:
-		return e.object(q2)
-	case jsonpath.Array:
-		return e.array(q2)
-	default:
-		return e.skipValue(vt, fastforward.G2, inArray)
-	}
-}
+func (e *Engine) stateID(q int) int { return q }

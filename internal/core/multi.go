@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"jsonski/internal/automaton"
-	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
 )
@@ -22,14 +21,13 @@ import (
 //     queries' index ranges.
 //
 // This realizes the paper's remark (§5.1) that developers can exploit
-// the fast-forward functions beyond single-query evaluation.
+// the fast-forward functions beyond single-query evaluation. The engine
+// is a stepper policy over the shared driver: the descent state is a
+// vector of automaton states, one per query.
 type MultiEngine struct {
+	cursor
 	auts []*automaton.Automaton
-	s    *stream.Stream
-	ff   *fastforward.FF
 	emit MultiEmitFunc
-
-	matches int64
 }
 
 // MultiEmitFunc receives each match with the index of the query that
@@ -47,24 +45,9 @@ type states []int32
 
 const deadState = int32(-1)
 
-func (e *MultiEngine) alive(st states) bool {
-	for _, q := range st {
-		if q != deadState {
-			return true
-		}
-	}
-	return false
-}
-
 // Run evaluates all queries over one record.
 func (e *MultiEngine) Run(data []byte, emit MultiEmitFunc) (Stats, error) {
-	if e.s == nil {
-		e.s = stream.New(data)
-		e.ff = fastforward.New(e.s)
-	} else {
-		e.s.Reset(data)
-		e.ff.Reset(e.s)
-	}
+	e.prepare(data)
 	return e.finish(emit, int64(len(data)))
 }
 
@@ -73,33 +56,15 @@ func (e *MultiEngine) Run(data []byte, emit MultiEmitFunc) (Stats, error) {
 // traversal the queries share also skips the per-word classification.
 // The caller must hold a reference on ix for the duration of the call.
 func (e *MultiEngine) RunIndexed(ix *stream.Index, emit MultiEmitFunc) (Stats, error) {
-	if e.s == nil {
-		e.s = stream.NewIndexed(ix)
-		e.ff = fastforward.New(e.s)
-	} else {
-		e.s.ResetIndexed(ix)
-		e.ff.Reset(e.s)
-	}
+	e.prepareIndexed(ix)
 	return e.finish(emit, int64(ix.Len()))
 }
 
 func (e *MultiEngine) finish(emit MultiEmitFunc, inputBytes int64) (Stats, error) {
+	e.begin(nil)
 	e.emit = emit
-	e.matches = 0
 	err := e.run()
-	return Stats{
-		Matches:        e.matches,
-		InputBytes:     inputBytes,
-		Skipped:        e.ff.Stats,
-		WordsProcessed: e.s.WordsProcessed,
-	}, err
-}
-
-func (e *MultiEngine) emitSpan(query, start, end int) {
-	e.matches++
-	if e.emit != nil {
-		e.emit(query, start, end)
-	}
+	return e.stats(inputBytes), err
 }
 
 func (e *MultiEngine) run() error {
@@ -135,7 +100,7 @@ func (e *MultiEngine) run() error {
 		end := s.Pos()
 		for i, a := range e.auts {
 			if a.StepCount() == 0 {
-				e.emitSpan(i, start, end)
+				e.emitQuery(i, start, end)
 			}
 		}
 		return nil
@@ -143,20 +108,14 @@ func (e *MultiEngine) run() error {
 	return e.consumeValue(b, st)
 }
 
-// consumeValue evaluates the value starting at the cursor against the
-// state vector, consuming it entirely.
+// consumeValue evaluates the root value against the state vector,
+// consuming it entirely.
 func (e *MultiEngine) consumeValue(b byte, st states) error {
 	switch b {
 	case '{':
-		if !e.alive(st) {
-			return e.ff.GoOverObj(fastforward.G2)
-		}
-		return e.object(st)
+		return driveValue[states, *multiFrame, []int](&e.cursor, e, jsonpath.Object, st, false)
 	case '[':
-		if !e.alive(st) {
-			return e.ff.GoOverAry(fastforward.G2)
-		}
-		return e.array(st)
+		return driveValue[states, *multiFrame, []int](&e.cursor, e, jsonpath.Array, st, false)
 	default:
 		// primitives cannot be descended into
 		e.s.SkipPrimitive()
@@ -164,22 +123,22 @@ func (e *MultiEngine) consumeValue(b byte, st states) error {
 	}
 }
 
+func (e *MultiEngine) emitQuery(query, start, end int) {
+	e.matches++
+	if e.emit != nil {
+		e.emit(query, start, end)
+	}
+}
+
 // combinedExpected returns the container type every live query expects,
 // or Unknown when they disagree (or none is live).
-func (e *MultiEngine) combinedExpected(st states, wantObject bool) jsonpath.ValueType {
+func (e *MultiEngine) combinedExpected(st states) jsonpath.ValueType {
 	combined := jsonpath.ValueType(0xFF) // sentinel: none seen yet
 	for i, q := range st {
 		if q == deadState {
 			continue
 		}
-		a := e.auts[i]
-		if wantObject && !a.IsObjectState(int(q)) {
-			continue
-		}
-		if !wantObject && !a.IsArrayState(int(q)) {
-			continue
-		}
-		t := a.TypeExpected(int(q))
+		t := e.auts[i].TypeExpected(int(q))
 		if combined == 0xFF {
 			combined = t
 		} else if combined != t {
@@ -192,108 +151,51 @@ func (e *MultiEngine) combinedExpected(st states, wantObject bool) jsonpath.Valu
 	return combined
 }
 
-func (e *MultiEngine) object(st states) error {
-	s := e.s
-	s.Advance(1) // '{'
-	// Queries whose pending step is not a child step are dead here.
-	live := make(states, len(st))
+// ---- stepper policy: the frame projects live queries at this level ----
+
+// multiFrame is the per-container frame: the queries still live at this
+// nesting level and the G4 bookkeeping for objects.
+type multiFrame struct {
+	live states
+	// remaining counts live non-wildcard queries that have not yet
+	// matched an attribute of this object; when it reaches zero (and no
+	// wildcard is live) the G4 generalization applies.
+	remaining   int
+	anyWildcard bool
+}
+
+func (e *MultiEngine) enterObject(st states) (*multiFrame, jsonpath.ValueType, bool) {
+	f := &multiFrame{live: make(states, len(st))}
 	nLive := 0
-	anyWildcard := false
 	for i, q := range st {
-		live[i] = deadState
+		f.live[i] = deadState
 		if q == deadState || !e.auts[i].IsObjectState(int(q)) {
 			continue
 		}
-		live[i] = q
+		f.live[i] = q
 		nLive++
 		if e.auts[i].Step(int(q)).Kind == jsonpath.AnyChild {
-			anyWildcard = true
+			f.anyWildcard = true
 		}
 	}
 	if nLive == 0 {
-		return e.ff.GoToObjEnd()
+		return nil, jsonpath.Unknown, false
 	}
-	expected := e.combinedExpected(live, true)
-	remaining := nLive // queries still hoping to match an attribute here
-	for {
-		r, err := e.ff.NextAttr(expected)
-		if err != nil {
-			return err
-		}
-		if r.End {
-			return nil
-		}
-		child := make(states, len(st))
-		anyProgress := false
-		var accepts []int
-		for i := range child {
-			child[i] = deadState
-			q := live[i]
-			if q == deadState {
-				continue
-			}
-			q2, status := e.auts[i].MatchKey(int(q), r.Name)
-			switch status {
-			case automaton.Accept:
-				accepts = append(accepts, i)
-				if e.auts[i].Step(int(q)).Kind != jsonpath.AnyChild {
-					live[i] = deadState
-					remaining--
-				}
-			case automaton.Matched:
-				child[i] = int32(q2)
-				anyProgress = true
-				if e.auts[i].Step(int(q)).Kind != jsonpath.AnyChild {
-					live[i] = deadState
-					remaining--
-				}
-			}
-		}
-		start := s.Pos()
-		switch {
-		case anyProgress:
-			// Descend in detail; spans for accepting queries come from
-			// the consumed extent.
-			if err := e.consumeValueTyped(r.VType, child, false); err != nil {
-				return err
-			}
-		case len(accepts) > 0:
-			if err := e.outputMulti(r.VType, false, accepts); err != nil {
-				return err
-			}
-			accepts = nil
-		default:
-			if err := e.skipValue(r.VType, fastforward.G2, false); err != nil {
-				return err
-			}
-		}
-		if len(accepts) > 0 {
-			end := trimWSEnd(s.Data(), start, s.Pos())
-			for _, i := range accepts {
-				e.emitSpan(i, start, end)
-			}
-		}
-		if remaining == 0 && !anyWildcard {
-			// G4 generalization: every query matched its unique
-			// attribute at this level.
-			return e.ff.GoToObjEnd()
-		}
-	}
+	f.remaining = nLive
+	return f, e.combinedExpected(f.live), true
 }
 
-func (e *MultiEngine) array(st states) error {
-	s := e.s
-	s.Advance(1) // '['
-	live := make(states, len(st))
+func (e *MultiEngine) enterArray(st states) (*multiFrame, jsonpath.ValueType, int, int, bool, bool) {
+	f := &multiFrame{live: make(states, len(st))}
 	nLive := 0
 	lo, hi := jsonpath.MaxIndex, 0
 	constrained := true
 	for i, q := range st {
-		live[i] = deadState
+		f.live[i] = deadState
 		if q == deadState || !e.auts[i].IsArrayState(int(q)) {
 			continue
 		}
-		live[i] = q
+		f.live[i] = q
 		nLive++
 		l, h, c := e.auts[i].Range(int(q))
 		if !c {
@@ -308,148 +210,104 @@ func (e *MultiEngine) array(st states) error {
 		}
 	}
 	if nLive == 0 {
-		return e.ff.GoToAryEnd()
+		return nil, jsonpath.Unknown, 0, 0, false, false
 	}
 	if !constrained {
 		lo, hi = 0, jsonpath.MaxIndex
 	}
-	expected := e.combinedExpected(live, false)
-	idx := 0
-	if lo > 0 {
-		_, ended, err := e.ff.GoOverElems(lo)
-		if err != nil {
-			return err
+	return f, e.combinedExpected(f.live), lo, hi, true, true
+}
+
+func (e *MultiEngine) matchKey(f *multiFrame, name []byte) (child states, accepts []int, act action, done bool) {
+	anyProgress := false
+	for i, q := range f.live {
+		if q == deadState {
+			continue
 		}
-		if ended {
-			return nil
-		}
-		idx = lo
-	}
-	for {
-		if idx >= hi {
-			return e.ff.GoToAryEnd()
-		}
-		r, err := e.ff.NextElem(expected, idx)
-		if err != nil {
-			return err
-		}
-		if r.End {
-			return nil
-		}
-		idx = r.Index
-		if idx >= hi {
-			return e.ff.GoToAryEnd()
-		}
-		child := make(states, len(st))
-		anyProgress := false
-		var accepts []int
-		for i := range child {
-			child[i] = deadState
-			q := live[i]
-			if q == deadState {
-				continue
+		q2, status := e.auts[i].MatchKey(int(q), name)
+		switch status {
+		case automaton.Accept:
+			accepts = append(accepts, i)
+		case automaton.Matched:
+			if child == nil {
+				child = newDeadStates(len(f.live))
 			}
-			q2, status := e.auts[i].MatchIndex(int(q), idx)
-			switch status {
-			case automaton.Accept:
-				accepts = append(accepts, i)
-			case automaton.Matched:
-				child[i] = int32(q2)
-				anyProgress = true
-			}
-		}
-		start := s.Pos()
-		switch {
-		case anyProgress:
-			if err := e.consumeValueTyped(r.VType, child, true); err != nil {
-				return err
-			}
-		case len(accepts) > 0:
-			if err := e.outputMulti(r.VType, true, accepts); err != nil {
-				return err
-			}
-			accepts = nil
+			child[i] = int32(q2)
+			anyProgress = true
 		default:
-			if err := e.skipValue(r.VType, fastforward.G5, true); err != nil {
-				return err
-			}
+			continue
 		}
-		if len(accepts) > 0 {
-			end := trimWSEnd(s.Data(), start, s.Pos())
-			for _, i := range accepts {
-				e.emitSpan(i, start, end)
-			}
+		if e.auts[i].Step(int(q)).Kind != jsonpath.AnyChild {
+			f.live[i] = deadState
+			f.remaining--
 		}
 	}
+	// G4 generalization: every query matched its unique attribute at
+	// this level.
+	done = f.remaining == 0 && !f.anyWildcard
+	return child, accepts, chooseAction(anyProgress, accepts), done
 }
 
-// consumeValueTyped descends into a value of known type with the child
-// state vector.
-func (e *MultiEngine) consumeValueTyped(vt jsonpath.ValueType, child states, inArray bool) error {
-	switch vt {
-	case jsonpath.Object:
-		if !e.alive(child) {
-			return e.ff.GoOverObj(fastforward.G2)
+func (e *MultiEngine) matchIndex(f *multiFrame, idx int) (child states, accepts []int, act action) {
+	anyProgress := false
+	for i, q := range f.live {
+		if q == deadState {
+			continue
 		}
-		return e.object(child)
-	case jsonpath.Array:
-		if !e.alive(child) {
-			return e.ff.GoOverAry(fastforward.G2)
+		q2, status := e.auts[i].MatchIndex(int(q), idx)
+		switch status {
+		case automaton.Accept:
+			accepts = append(accepts, i)
+		case automaton.Matched:
+			if child == nil {
+				child = newDeadStates(len(f.live))
+			}
+			child[i] = int32(q2)
+			anyProgress = true
 		}
-		return e.array(child)
-	default:
-		return e.skipValue(vt, fastforward.G2, inArray)
 	}
+	return child, accepts, chooseAction(anyProgress, accepts)
 }
 
-// outputMulti skips the value (G3) and emits it for every accepting query.
-func (e *MultiEngine) outputMulti(vt jsonpath.ValueType, inArray bool, accepts []int) error {
-	var (
-		sp  fastforward.Span
-		err error
-	)
-	switch vt {
-	case jsonpath.Object:
-		sp, err = e.ff.GoOverObjOut()
-	case jsonpath.Array:
-		sp, err = e.ff.GoOverAryOut()
-	default:
-		if inArray {
-			sp, _, err = e.ff.GoOverPriElemOut()
-		} else {
-			sp, _, err = e.ff.GoOverPriAttrOut()
-		}
-	}
-	if err != nil {
-		return err
-	}
+func (e *MultiEngine) emitMatch(accepts []int, start, end int) {
 	for _, i := range accepts {
-		e.emitSpan(i, sp.Start, sp.End)
+		e.emitQuery(i, start, end)
 	}
-	return nil
 }
 
-// skipValue mirrors Engine.skipValue.
-func (e *MultiEngine) skipValue(vt jsonpath.ValueType, g fastforward.Group, inArray bool) error {
-	switch vt {
-	case jsonpath.Object:
-		return e.ff.GoOverObj(g)
-	case jsonpath.Array:
-		return e.ff.GoOverAry(g)
-	default:
-		var err error
-		if inArray {
-			_, err = e.ff.GoOverPriElem(g)
-		} else {
-			_, err = e.ff.GoOverPriAttr(g)
+// stateID renders the number of live queries into trace events; a
+// per-query state has no single-integer representation.
+func (e *MultiEngine) stateID(f *multiFrame) int {
+	n := 0
+	for _, q := range f.live {
+		if q != deadState {
+			n++
 		}
-		return err
 	}
+	return n
 }
 
-func trimWSEnd(data []byte, start, end int) int {
-	for end > start && (data[end-1] == ' ' || data[end-1] == '\t' || data[end-1] == '\n' || data[end-1] == '\r') {
-		end--
+func newDeadStates(n int) states {
+	child := make(states, n)
+	for i := range child {
+		child[i] = deadState
 	}
-	return end
+	return child
+}
+
+// chooseAction maps a member's match outcome onto the driver dispatch:
+// descending wins when any query progressed (accepting queries then
+// emit the consumed extent), acceptance alone outputs via G3, and no
+// outcome at all skips.
+func chooseAction(anyProgress bool, accepts []int) action {
+	switch {
+	case anyProgress && len(accepts) > 0:
+		return actDescendOutput
+	case anyProgress:
+		return actDescend
+	case len(accepts) > 0:
+		return actOutput
+	default:
+		return actSkip
+	}
 }

@@ -5,51 +5,29 @@ import (
 
 	"jsonski/internal/automaton"
 	"jsonski/internal/bits"
-	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
-	"jsonski/internal/telemetry"
 )
 
 // NFAEngine evaluates paths containing the descendant operator `..`
 // (the paper's stated future work, §5.1). A descendant step matches at
 // an unknown level, so the matcher is a set-of-states NFA rather than a
 // single-state DFA, and — as the paper argues — type inference and the
-// G1/G4/G5 fast-forward groups do not apply: a live descendant state can
+// G1/G4 fast-forward groups do not apply: a live descendant state can
 // match arbitrarily deep, so no subtree is provably irrelevant unless
 // the whole state set dies.
 //
-// The engine still runs on the bit-parallel stream (word-level masks for
-// tokenization), and G2-skips whole values whenever the state set going
-// into them is empty — which for paths with non-descendant prefixes
-// (e.g. $.store..price) recovers real skipping outside the prefix.
+// The engine runs as a stepper policy over the shared driver: the state
+// handed down into each value is the NFA state-set bitmask, and the
+// driver G2-skips whole values whenever the set going into them is empty
+// — which for paths with non-descendant prefixes (e.g. $.store..price)
+// recovers real skipping outside the prefix. Dead attribute values are
+// charged to G2 and dead array elements to G5, the same accounting as
+// the DFA engine.
 type NFAEngine struct {
+	cursor
 	steps []jsonpath.Step
-	s     *stream.Stream
-	ff    *fastforward.FF
-	emit  EmitFunc
-
-	matches int64
-	depth   int
-
-	// trace, when non-nil, records fast-forward events (explain mode).
-	// Event.State carries the live NFA state-set bitmask, not a single
-	// DFA state.
-	trace *telemetry.Trace
 }
-
-// SetTrace binds (or with nil unbinds) an explain trace to the engine.
-func (e *NFAEngine) SetTrace(t *telemetry.Trace) {
-	e.trace = t
-	if e.ff != nil {
-		e.ff.Trace = t
-	}
-}
-
-// maxNFADepth bounds recursion: unlike the DFA engine, whose recursion
-// depth is bounded by the query length, the NFA engine recurses per
-// nesting level of the input.
-const maxNFADepth = 10000
 
 // NewNFAEngine creates an NFA engine for the path. Paths are limited to
 // 62 steps (the state set is a uint64 bitmask).
@@ -67,14 +45,7 @@ func (e *NFAEngine) acceptBit() stateSet { return 1 << uint(len(e.steps)) }
 
 // Run evaluates the path over one record.
 func (e *NFAEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
-	if e.s == nil {
-		e.s = stream.New(data)
-		e.ff = fastforward.New(e.s)
-	} else {
-		e.s.Reset(data)
-		e.ff.Reset(e.s)
-	}
-	e.ff.Trace = e.trace
+	e.prepare(data)
 	return e.finish(emit, int64(len(data)))
 }
 
@@ -84,28 +55,23 @@ func (e *NFAEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 // word masks pays off even more per repeated document. The caller must
 // hold a reference on ix for the duration of the call.
 func (e *NFAEngine) RunIndexed(ix *stream.Index, emit EmitFunc) (Stats, error) {
-	if e.s == nil {
-		e.s = stream.NewIndexed(ix)
-		e.ff = fastforward.New(e.s)
-	} else {
-		e.s.ResetIndexed(ix)
-		e.ff.Reset(e.s)
-	}
-	e.ff.Trace = e.trace
+	e.prepareIndexed(ix)
 	return e.finish(emit, int64(ix.Len()))
 }
 
+// RunIndexedWindow evaluates the path over the single JSON value in
+// [lo, hi) of ix's buffer, in parity with the DFA engine, so NFA
+// queries can run over shared-index shards. Emitted positions are
+// absolute within the full buffer.
+func (e *NFAEngine) RunIndexedWindow(ix *stream.Index, lo, hi int, emit EmitFunc) (Stats, error) {
+	e.prepareWindow(ix, lo, hi)
+	return e.finish(emit, int64(hi-lo))
+}
+
 func (e *NFAEngine) finish(emit EmitFunc, inputBytes int64) (Stats, error) {
-	e.emit = emit
-	e.matches = 0
-	e.depth = 0
+	e.begin(emit)
 	err := e.run()
-	return Stats{
-		Matches:        e.matches,
-		InputBytes:     inputBytes,
-		Skipped:        e.ff.Stats,
-		WordsProcessed: e.s.WordsProcessed,
-	}, err
+	return e.stats(inputBytes), err
 }
 
 func (e *NFAEngine) run() error {
@@ -119,20 +85,27 @@ func (e *NFAEngine) run() error {
 	if len(e.steps) == 0 {
 		set = e.acceptBit()
 	}
-	if err := e.value(b, set&^e.acceptBit()); err != nil {
-		return err
+	rest := set &^ e.acceptBit()
+	switch b {
+	case '{':
+		if err := driveValue[stateSet, stateSet, none](&e.cursor, e, jsonpath.Object, rest, false); err != nil {
+			return err
+		}
+	case '[':
+		if err := driveValue[stateSet, stateSet, none](&e.cursor, e, jsonpath.Array, rest, false); err != nil {
+			return err
+		}
+	case '"':
+		if err := s.SkipString(); err != nil {
+			return err
+		}
+	default:
+		s.SkipPrimitive()
 	}
 	if set&e.acceptBit() != 0 {
 		e.emitSpan(start, s.Pos())
 	}
 	return nil
-}
-
-func (e *NFAEngine) emitSpan(start, end int) {
-	e.matches++
-	if e.emit != nil {
-		e.emit(start, end)
-	}
 }
 
 // nextSetKey applies the [Key] transitions to every state in the set.
@@ -186,106 +159,46 @@ func (e *NFAEngine) nextSetIndex(set stateSet, idx int) stateSet {
 	return out
 }
 
-// value consumes the value starting with byte b under state set `set`.
-// If the accept bit is in the set the caller has already decided to emit.
-func (e *NFAEngine) value(b byte, set stateSet) error {
-	s := e.s
-	if e.trace != nil {
-		e.trace.State = int(set)
-	}
-	switch b {
-	case '{':
-		if set == 0 {
-			return e.ff.GoOverObj(fastforward.G2)
-		}
-		return e.object(set)
-	case '[':
-		if set == 0 {
-			return e.ff.GoOverAry(fastforward.G2)
-		}
-		return e.array(set)
-	case '"':
-		return s.SkipString()
+// ---- stepper policy: the frame is the state set itself ----
+
+func (e *NFAEngine) enterObject(set stateSet) (stateSet, jsonpath.ValueType, bool) {
+	// Below a descendant no type is provable: G1 stays off (Unknown).
+	return set, jsonpath.Unknown, set != 0
+}
+
+func (e *NFAEngine) enterArray(set stateSet) (stateSet, jsonpath.ValueType, int, int, bool, bool) {
+	return set, jsonpath.Unknown, 0, 0, false, set != 0
+}
+
+// dispatchSet converts a transition result into the driver action: the
+// accept bit emits, surviving states descend, both at once do both.
+func (e *NFAEngine) dispatchSet(next stateSet) (stateSet, action) {
+	rest := next &^ e.acceptBit()
+	accept := next&e.acceptBit() != 0
+	switch {
+	case accept && rest != 0:
+		return rest, actDescendOutput
+	case accept:
+		return rest, actOutput
+	case rest == 0:
+		return rest, actSkip
 	default:
-		s.SkipPrimitive()
-		return nil
+		return rest, actDescend
 	}
 }
 
-func (e *NFAEngine) object(set stateSet) error {
-	s := e.s
-	if e.depth++; e.depth > maxNFADepth {
-		return fmt.Errorf("core: nesting deeper than %d at %d", maxNFADepth, s.Pos())
-	}
-	defer func() { e.depth-- }()
-	s.Advance(1) // '{'
-	for {
-		b, ok := s.SkipWS()
-		if !ok {
-			return fmt.Errorf("core: EOF inside object")
-		}
-		switch b {
-		case '}':
-			s.Advance(1)
-			return nil
-		case ',':
-			s.Advance(1)
-			continue
-		case '"':
-		default:
-			return fmt.Errorf("core: expected key at %d", s.Pos())
-		}
-		key, err := s.ReadString()
-		if err != nil {
-			return err
-		}
-		if err := s.Expect(':'); err != nil {
-			return err
-		}
-		vb, ok := s.SkipWS()
-		if !ok {
-			return fmt.Errorf("core: missing value at %d", s.Pos())
-		}
-		next := e.nextSetKey(set, key)
-		start := s.Pos()
-		if err := e.value(vb, next&^e.acceptBit()); err != nil {
-			return err
-		}
-		if next&e.acceptBit() != 0 {
-			e.emitSpan(start, trimWSEnd(s.Data(), start, s.Pos()))
-		}
-	}
+func (e *NFAEngine) matchKey(set stateSet, name []byte) (child stateSet, acc none, act action, done bool) {
+	child, act = e.dispatchSet(e.nextSetKey(set, name))
+	return child, acc, act, false // G4 never applies: the set outlives any match
 }
 
-func (e *NFAEngine) array(set stateSet) error {
-	s := e.s
-	if e.depth++; e.depth > maxNFADepth {
-		return fmt.Errorf("core: nesting deeper than %d at %d", maxNFADepth, s.Pos())
-	}
-	defer func() { e.depth-- }()
-	s.Advance(1) // '['
-	idx := 0
-	for {
-		b, ok := s.SkipWS()
-		if !ok {
-			return fmt.Errorf("core: EOF inside array")
-		}
-		switch b {
-		case ']':
-			s.Advance(1)
-			return nil
-		case ',':
-			s.Advance(1)
-			idx++
-			continue
-		}
-		next := e.nextSetIndex(set, idx)
-		start := s.Pos()
-		if err := e.value(b, next&^e.acceptBit()); err != nil {
-			return err
-		}
-		if next&e.acceptBit() != 0 {
-			e.emitSpan(start, trimWSEnd(s.Data(), start, s.Pos()))
-		}
-	}
+func (e *NFAEngine) matchIndex(set stateSet, idx int) (child stateSet, acc none, act action) {
+	child, act = e.dispatchSet(e.nextSetIndex(set, idx))
+	return child, acc, act
 }
+
+func (e *NFAEngine) emitMatch(_ none, start, end int) { e.emitSpan(start, end) }
+
+// stateID renders the live state-set bitmask (not a single DFA state)
+// into explain-trace events.
+func (e *NFAEngine) stateID(set stateSet) int { return int(set) }

@@ -91,13 +91,17 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 	if pe.workers <= 1 {
 		return pe.serial(data, ix, emit)
 	}
-	var s *stream.Stream
+	// Phase 1 runs over the same cursor substrate as the engines: the
+	// prefix resolution below is a hand-rolled descent only because it
+	// stops at the split array rather than consuming it.
+	var c cursor
 	if ix != nil {
-		s = stream.NewIndexed(ix)
+		c.prepareIndexed(ix)
 	} else {
-		s = stream.New(data)
+		c.prepare(data)
 	}
-	ff := fastforward.New(s)
+	c.begin(nil)
+	s := c.s
 	b, ok := s.SkipWS()
 	if !ok {
 		return Stats{}, fmt.Errorf("core: empty input")
@@ -113,7 +117,7 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 		s.Advance(1) // '{'
 		found := false
 		for {
-			r, err := ff.NextAttr(st.Expect)
+			r, err := c.ff.NextAttr(st.Expect)
 			if err != nil {
 				return Stats{}, err
 			}
@@ -124,12 +128,12 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 				found = true
 				break
 			}
-			if err := skipAttrValue(ff, r.VType); err != nil {
+			if err := c.skipValue(r.VType, fastforward.G2, false); err != nil {
 				return Stats{}, err
 			}
 		}
 		if !found {
-			return statsOf(s, ff, 0), nil
+			return c.stats(int64(s.Len())), nil
 		}
 		k++
 		b, ok = s.SkipWS()
@@ -167,7 +171,7 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 		total Stats
 		first error
 	)
-	total = statsOf(s, ff, 0) // prefix work
+	total = c.stats(int64(s.Len())) // prefix work
 	workers := pe.workers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -224,27 +228,6 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 	wg.Wait()
 	total.InputBytes = int64(len(data))
 	return total, first
-}
-
-func statsOf(s *stream.Stream, ff *fastforward.FF, matches int64) Stats {
-	return Stats{
-		Matches:        matches,
-		InputBytes:     int64(s.Len()),
-		Skipped:        ff.Stats,
-		WordsProcessed: s.WordsProcessed,
-	}
-}
-
-func skipAttrValue(ff *fastforward.FF, vt jsonpath.ValueType) error {
-	switch vt {
-	case jsonpath.Object:
-		return ff.GoOverObj(fastforward.G2)
-	case jsonpath.Array:
-		return ff.GoOverAry(fastforward.G2)
-	default:
-		_, err := ff.GoOverPriAttr(fastforward.G2)
-		return err
-	}
 }
 
 // ---- speculative element discovery (phases 2+3+4a), SWAR-based ----

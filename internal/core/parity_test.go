@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jsonski/internal/automaton"
+	"jsonski/internal/jsonpath"
+	"jsonski/internal/stream"
+)
+
+// parityDocs pairs a query with documents whose root type matches the
+// query's expectation. (Root-type mismatch is a documented divergence:
+// the DFA engine returns without consuming the record, while the
+// MultiEngine kills the query and G2-consumes the record so the shared
+// pass can continue for other queries.)
+var parityCases = []struct{ query, data string }{
+	{"$.a.b", `{"a": {"b": 1}, "c": {"b": 2}}`},
+	{"$.a.b", `{"x": [1, 2, 3], "a": {"q": "s", "b": {"deep": [true]}}}`},
+	{"$.a[*].b", `{"a": [{"b": 1}, {"c": 2}, {"b": [3, 4]}], "z": "tail"}`},
+	{"$[1:3]", `[10, {"a": 1}, [2, 3], 40, 50]`},
+	{"$.*", `{"a": 1, "b": {"c": 2}, "d": [3]}`},
+	{"$.a[2]", `{"a": [0, 1, {"v": "hit"}, 3]}`},
+	{"$.items[*].name", `{"items": [{"id": 1, "name": "x"}, {"id": 2, "name": "y"}], "n": 2}`},
+	{"$.a.b", `{"a": "not an object", "b": 7}`},
+	{"$[*].a", `[{"a": 1}, "skip", {"b": 2}, {"a": [3]}]`},
+}
+
+// TestDFAMultiStatsParity locks in satellite of the shared driver: a
+// single-query MultiEngine run must produce the same matches AND the
+// same Stats — InputBytes and every per-group fast-forward charge — as
+// the DFA engine, because both are policies over the same descent.
+func TestDFAMultiStatsParity(t *testing.T) {
+	for _, tc := range parityCases {
+		t.Run(tc.query, func(t *testing.T) {
+			p, err := jsonpath.Parse(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := []byte(tc.data)
+
+			dfa := NewEngine(automaton.New(p))
+			var dfaSpans []string
+			dfaStats, err := dfa.Run(data, func(s, e int) {
+				dfaSpans = append(dfaSpans, tc.data[s:e])
+			})
+			if err != nil {
+				t.Fatalf("dfa: %v", err)
+			}
+
+			multi := NewMultiEngine([]*automaton.Automaton{automaton.New(p)})
+			var multiSpans []string
+			multiStats, err := multi.Run(data, func(q, s, e int) {
+				if q != 0 {
+					t.Errorf("singleton set reported query %d", q)
+				}
+				multiSpans = append(multiSpans, tc.data[s:e])
+			})
+			if err != nil {
+				t.Fatalf("multi: %v", err)
+			}
+
+			if !reflect.DeepEqual(dfaSpans, multiSpans) {
+				t.Errorf("spans diverge:\n dfa   %q\n multi %q", dfaSpans, multiSpans)
+			}
+			if dfaStats.Matches != multiStats.Matches ||
+				dfaStats.InputBytes != multiStats.InputBytes {
+				t.Errorf("stats diverge: dfa %+v multi %+v", dfaStats, multiStats)
+			}
+			if dfaStats.Skipped.SkippedBytes != multiStats.Skipped.SkippedBytes {
+				t.Errorf("group charges diverge:\n dfa   %v\n multi %v",
+					dfaStats.Skipped.SkippedBytes, multiStats.Skipped.SkippedBytes)
+			}
+		})
+	}
+}
+
+// TestDFANFAMatchParity runs linear (descendant-free) queries through
+// the NFA engine and requires the same spans and InputBytes as the DFA.
+// Group charges are NOT compared: below-descendant uncertainty means the
+// NFA engine never uses G1/G4, so the same skipped bytes land in
+// different groups by design.
+func TestDFANFAMatchParity(t *testing.T) {
+	for _, tc := range parityCases {
+		t.Run(tc.query, func(t *testing.T) {
+			p, err := jsonpath.Parse(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := []byte(tc.data)
+
+			dfa := NewEngine(automaton.New(p))
+			var dfaSpans []string
+			dfaStats, err := dfa.Run(data, func(s, e int) {
+				dfaSpans = append(dfaSpans, tc.data[s:e])
+			})
+			if err != nil {
+				t.Fatalf("dfa: %v", err)
+			}
+
+			nfa, err := NewNFAEngine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nfaSpans []string
+			nfaStats, err := nfa.Run(data, func(s, e int) {
+				nfaSpans = append(nfaSpans, tc.data[s:e])
+			})
+			if err != nil {
+				t.Fatalf("nfa: %v", err)
+			}
+
+			if !reflect.DeepEqual(dfaSpans, nfaSpans) {
+				t.Errorf("spans diverge:\n dfa %q\n nfa %q", dfaSpans, nfaSpans)
+			}
+			if dfaStats.Matches != nfaStats.Matches ||
+				dfaStats.InputBytes != nfaStats.InputBytes {
+				t.Errorf("stats diverge: dfa %+v nfa %+v", dfaStats, nfaStats)
+			}
+		})
+	}
+}
+
+// TestNFARunIndexedWindowMatchesDFA crosschecks the NFA window entry
+// point against the DFA one: over every record window of a shared
+// structural index, a linear query must emit identical absolute spans
+// through both engines.
+func TestNFARunIndexedWindowMatchesDFA(t *testing.T) {
+	records := []string{
+		`{"a": {"b": 1}, "pad": "xxxxxxxxxxxxxxxx"}`,
+		`{"a": {"b": [2, 3]}, "c": "not here"}`,
+		`{"a": "wrong type"}`,
+		`{"a": {"b": {"deep": true}}}`,
+	}
+	buf := []byte(strings.Join(records, "\n"))
+	ix := stream.NewIndex(buf)
+
+	queries := []string{"$.a.b", "$.a.*", "$.a"}
+	for _, query := range queries {
+		p, err := jsonpath.Parse(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := 0
+		for i, rec := range records {
+			hi := lo + len(rec)
+			name := fmt.Sprintf("%s/record%d", query, i)
+
+			dfa := NewEngine(automaton.New(p))
+			var dfaSpans [][2]int
+			if _, err := dfa.RunIndexedWindow(ix, lo, hi, func(s, e int) {
+				dfaSpans = append(dfaSpans, [2]int{s, e})
+			}); err != nil {
+				t.Fatalf("%s: dfa window: %v", name, err)
+			}
+
+			nfa, err := NewNFAEngine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nfaSpans [][2]int
+			if _, err := nfa.RunIndexedWindow(ix, lo, hi, func(s, e int) {
+				nfaSpans = append(nfaSpans, [2]int{s, e})
+			}); err != nil {
+				t.Fatalf("%s: nfa window: %v", name, err)
+			}
+
+			if !reflect.DeepEqual(dfaSpans, nfaSpans) {
+				t.Errorf("%s: window spans diverge:\n dfa %v\n nfa %v", name, dfaSpans, nfaSpans)
+			}
+			lo = hi + 1
+		}
+	}
+}
+
+// TestNFAWindowMatchesSliceRun crosschecks RunIndexedWindow for a
+// descendant query (which only the NFA engine evaluates) against a
+// plain Run over the window's sub-slice: the spans must agree after
+// shifting by the window offset, proving the windowed stream sees
+// exactly the record's bytes.
+func TestNFAWindowMatchesSliceRun(t *testing.T) {
+	records := []string{
+		`{"x": {"name": "a", "y": {"name": "b"}}, "name": "c"}`,
+		`[{"name": "d"}, {"deep": [{"name": "e"}]}]`,
+		`{"none": "here"}`,
+	}
+	buf := []byte(strings.Join(records, "\n"))
+	ix := stream.NewIndex(buf)
+	p, err := jsonpath.Parse("$..name")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lo := 0
+	for i, rec := range records {
+		hi := lo + len(rec)
+
+		windowed, err := NewNFAEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var winSpans [][2]int
+		winStats, err := windowed.RunIndexedWindow(ix, lo, hi, func(s, e int) {
+			winSpans = append(winSpans, [2]int{s - lo, e - lo})
+		})
+		if err != nil {
+			t.Fatalf("record %d: window: %v", i, err)
+		}
+
+		direct, err := NewNFAEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var directSpans [][2]int
+		directStats, err := direct.Run([]byte(rec), func(s, e int) {
+			directSpans = append(directSpans, [2]int{s, e})
+		})
+		if err != nil {
+			t.Fatalf("record %d: direct: %v", i, err)
+		}
+
+		if !reflect.DeepEqual(winSpans, directSpans) {
+			t.Errorf("record %d: spans diverge:\n window %v\n direct %v", i, winSpans, directSpans)
+		}
+		if winStats.Matches != directStats.Matches ||
+			winStats.InputBytes != directStats.InputBytes {
+			t.Errorf("record %d: stats diverge: window %+v direct %+v", i, winStats, directStats)
+		}
+		lo = hi + 1
+	}
+}

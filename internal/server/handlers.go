@@ -9,6 +9,8 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"jsonski"
@@ -24,13 +26,58 @@ const (
 )
 
 // recResult is one record's rendered output: the NDJSON lines for its
-// matches, or the evaluation error. trace is non-nil only in explain
-// mode.
+// matches, or the evaluation error. buf, when non-nil, is the pooled
+// buffer backing out; release returns it once the bytes are written.
+// trace is non-nil only in explain mode.
 type recResult struct {
 	idx   int
 	out   []byte
+	buf   *bytes.Buffer
 	err   error
 	trace *jsonski.Trace
+}
+
+// release returns the pooled line buffer after out has been consumed.
+func (r *recResult) release() {
+	if r.buf != nil {
+		putLineBuf(r.buf)
+		r.buf, r.out = nil, nil
+	}
+}
+
+// linePool recycles the per-record output buffers of the NDJSON stream
+// path; records flow through the sliding window continuously, so fresh
+// buffers per record would dominate the handler's allocations.
+var linePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getLineBuf() *bytes.Buffer {
+	buf := linePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putLineBuf(buf *bytes.Buffer) {
+	// Oversized one-off buffers (a record with huge matches) are dropped
+	// rather than pinned in the pool.
+	if buf.Cap() <= 1<<20 {
+		linePool.Put(buf)
+	}
+}
+
+// NDJSON line framing for /query output: every match is wrapped as
+// {"record":N,"value":<match>}. recordPrefix renders the opening frame
+// for record idx; singlePrefix is the constant frame of single-document
+// requests.
+var (
+	singlePrefix = recordPrefix(0)
+	lineSuffix   = []byte("}\n")
+)
+
+func recordPrefix(idx int) []byte {
+	b := make([]byte, 0, 24)
+	b = append(b, `{"record":`...)
+	b = strconv.AppendInt(b, int64(idx), 10)
+	return append(b, `,"value":`...)
 }
 
 // evalFunc evaluates one record and renders its match lines. It runs on
@@ -41,13 +88,18 @@ type evalFunc func(rec []byte, idx int) recResult
 // handles NDJSON stream records (each line is seen once; indexing it
 // would be pure overhead); evalIndexed handles single-document
 // requests through the structural-index cache, so repeated queries
-// over a hot document reuse its word masks. In explain mode (explain
-// set) eval records a fast-forward trace and evalIndexed is unused:
-// explain runs bypass the index cache so the trace reflects exactly
-// the movements of this evaluation.
+// over a hot document reuse its word masks. single, when set, replaces
+// both for non-explain single-document requests: it streams match
+// lines straight from the record buffer into the response writer
+// through a zero-copy StreamSink instead of rendering into an
+// intermediate buffer (ix is nil when the index cache is off). In
+// explain mode (explain set) eval records a fast-forward trace and the
+// other paths are unused: explain runs bypass the index cache so the
+// trace reflects exactly the movements of this evaluation.
 type evaluator struct {
 	eval        evalFunc
 	evalIndexed func(ix *jsonski.Index, idx int) recResult
+	single      func(w io.Writer, data []byte, ix *jsonski.Index) error
 	explain     bool
 }
 
@@ -76,32 +128,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.serve(w, r, evaluator{
 			explain: true,
 			eval: func(rec []byte, idx int) recResult {
-				var buf bytes.Buffer
+				buf := getLineBuf()
 				t0 := time.Now()
-				st, err := q.RunExplain(rec, perRecordExplainEvents, queryLine(&buf, idx))
+				st, err := q.RunExplain(rec, perRecordExplainEvents, queryLine(buf, idx))
 				s.m.recordLatency.Observe(time.Since(t0))
 				s.m.addStats(st)
-				return recResult{idx: idx, out: buf.Bytes(), err: err, trace: st.Trace()}
+				return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err, trace: st.Trace()}
 			},
 		})
 		return
 	}
 	s.serve(w, r, evaluator{
 		eval: func(rec []byte, idx int) recResult {
-			var buf bytes.Buffer
+			buf := getLineBuf()
+			sink := &jsonski.StreamSink{W: buf, Prefix: recordPrefix(idx), Suffix: lineSuffix}
 			t0 := time.Now()
-			st, err := q.Run(rec, queryLine(&buf, idx))
+			st, err := q.RunSink(rec, sink)
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
-			return recResult{idx: idx, out: buf.Bytes(), err: err}
+			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
 		},
-		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
-			var buf bytes.Buffer
+		single: func(w io.Writer, data []byte, ix *jsonski.Index) error {
+			sink := &jsonski.StreamSink{W: w, Prefix: singlePrefix, Suffix: lineSuffix}
 			t0 := time.Now()
-			st, err := q.RunIndexed(ix, queryLine(&buf, idx))
+			var (
+				st  jsonski.Stats
+				err error
+			)
+			if ix != nil {
+				st, err = q.RunIndexedSink(ix, sink)
+			} else {
+				st, err = q.RunSink(data, sink)
+			}
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
-			return recResult{idx: idx, out: buf.Bytes(), err: err}
+			return err
 		},
 	})
 }
@@ -138,20 +199,20 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 	}
 	s.serve(w, r, evaluator{
 		eval: func(rec []byte, idx int) recResult {
-			var buf bytes.Buffer
+			buf := getLineBuf()
 			t0 := time.Now()
-			st, err := qs.Run(rec, multiLine(&buf, idx))
+			st, err := qs.Run(rec, multiLine(buf, idx))
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
-			return recResult{idx: idx, out: buf.Bytes(), err: err}
+			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
 		},
 		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
-			var buf bytes.Buffer
+			buf := getLineBuf()
 			t0 := time.Now()
-			st, err := qs.RunIndexed(ix, multiLine(&buf, idx))
+			st, err := qs.RunIndexed(ix, multiLine(buf, idx))
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
-			return recResult{idx: idx, out: buf.Bytes(), err: err}
+			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
 		},
 	})
 }
@@ -248,8 +309,12 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 		s.jsonError(w, http.StatusBadRequest, errors.New("empty body"))
 		return
 	}
+	if ev.single != nil && !ev.explain {
+		s.serveSingleStreaming(w, data, ev)
+		return
+	}
 	var res recResult
-	if s.icache != nil && !ev.explain {
+	if s.icache != nil && !ev.explain && ev.evalIndexed != nil {
 		ix := s.icache.Get(data)
 		res = ev.evalIndexed(ix, 0)
 		ix.Release()
@@ -260,16 +325,79 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 	}
 	if res.err != nil {
 		s.m.recordErrors.Add(1)
+		res.release()
 		s.jsonError(w, http.StatusBadRequest, res.err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	s.write(w, res.out)
+	res.release()
 	if ev.explain {
 		var trail explainTrail
 		trail.add(0, res.trace)
 		s.write(w, trail.line())
 	}
+}
+
+// responseBufPool recycles the output buffers of the streaming
+// single-document path.
+var responseBufPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(nil, 16<<10) },
+}
+
+// hideFlush exposes only Write, so the StreamSink's end-of-run Flush
+// cannot push buffered output to the wire before serveSingleStreaming
+// has decided between success and a full-status error.
+type hideFlush struct{ io.Writer }
+
+// countingWriter tallies bytes that actually reach the response.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+	// sent is the bytes forwarded on this response; once nonzero the
+	// status line is committed and errors must become NDJSON lines.
+	sent int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sent += int64(n)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// serveSingleStreaming evaluates the whole body as one record with
+// match lines streamed straight from the record buffer to the response
+// (no intermediate rendering of the result set). Output is buffered
+// 16KB at a time: an evaluation error before anything reached the wire
+// still gets a full-status 400 with the partial output discarded;
+// after that the error becomes a trailing NDJSON line, as on the
+// record-stream path.
+func (s *Server) serveSingleStreaming(w http.ResponseWriter, data []byte, ev evaluator) {
+	var ix *jsonski.Index
+	if s.icache != nil {
+		ix = s.icache.Get(data)
+		defer ix.Release()
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	cw := &countingWriter{w: w, n: &s.m.bytesOut}
+	bw := responseBufPool.Get().(*bufio.Writer)
+	bw.Reset(cw)
+	defer func() {
+		bw.Reset(nil)
+		responseBufPool.Put(bw)
+	}()
+	if err := ev.single(hideFlush{bw}, data, ix); err != nil {
+		s.m.recordErrors.Add(1)
+		if cw.sent == 0 {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+		_ = bw.Flush()
+		s.writeErrorLine(w, 0, err)
+		return
+	}
+	_ = bw.Flush()
 }
 
 // streamRecords pipelines an NDJSON body through the worker pool with a
@@ -341,6 +469,7 @@ func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, body io.R
 		}
 		if res.err != nil {
 			s.m.recordErrors.Add(1)
+			res.release()
 			s.writeErrorLine(w, res.idx, res.err)
 			wroteAny = true
 			flush()
@@ -351,6 +480,7 @@ func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, body io.R
 			wroteAny = true
 			flush()
 		}
+		res.release()
 	}
 
 loop:
@@ -398,7 +528,8 @@ loop:
 		if ctx.Err() == nil {
 			writeResult(<-ch)
 		} else {
-			<-ch
+			res := <-ch
+			res.release()
 		}
 	}
 	if err := <-readDone; err != nil {

@@ -178,18 +178,21 @@ func (q *Query) String() string { return q.path.String() }
 // invoking fn for every match in document order. fn may be nil to only
 // count matches.
 func (q *Query) Run(data []byte, fn func(Match)) (Stats, error) {
+	return q.RunSink(data, fnSink(fn))
+}
+
+// RunSink streams a single JSON record into sink: Begin binds the
+// record, each match arrives as a Span, and Flush closes the run. sink
+// may be nil to only count matches. A sink error stops delivery but not
+// evaluation; it is returned unless the engine itself failed.
+func (q *Query) RunSink(data []byte, sink Sink) (Stats, error) {
 	e := q.pool.Get().(runner)
 	defer q.pool.Put(e)
-	var emit core.EmitFunc
-	if fn != nil {
-		emit = func(s, en int) {
-			fn(Match{Start: s, End: en, Value: data[s:en]})
-		}
-	}
-	st, err := e.Run(data, emit)
+	sr := newSinkRun(sink)
+	st, err := e.Run(data, sr.bind(0, data))
 	var out Stats
 	out.add(st)
-	return out, err
+	return out, sr.finish(err)
 }
 
 // RunIndexed is Run over a prebuilt structural index of the buffer: the
@@ -198,19 +201,20 @@ func (q *Query) Run(data []byte, fn func(Match)) (Stats, error) {
 // streamed more than once. The index must stay alive (not finally
 // Released) for the duration of the call.
 func (q *Query) RunIndexed(ix *Index, fn func(Match)) (Stats, error) {
+	return q.RunIndexedSink(ix, fnSink(fn))
+}
+
+// RunIndexedSink is RunSink over a prebuilt structural index of the
+// buffer. The index must stay alive (not finally Released) for the
+// duration of the call.
+func (q *Query) RunIndexedSink(ix *Index, sink Sink) (Stats, error) {
 	e := q.pool.Get().(runner)
 	defer q.pool.Put(e)
-	data := ix.Data()
-	var emit core.EmitFunc
-	if fn != nil {
-		emit = func(s, en int) {
-			fn(Match{Start: s, End: en, Value: data[s:en]})
-		}
-	}
-	st, err := e.RunIndexed(ix.ix, emit)
+	sr := newSinkRun(sink)
+	st, err := e.RunIndexed(ix.ix, sr.bind(0, ix.Data()))
 	var out Stats
 	out.add(st)
-	return out, err
+	return out, sr.finish(err)
 }
 
 // Count returns the number of matches in data.
@@ -223,24 +227,30 @@ func (q *Query) Count(data []byte) (int64, error) {
 // with a single engine, invoking fn for each match. Match.Record carries
 // the record index.
 func (q *Query) RunRecords(records [][]byte, fn func(Match)) (Stats, error) {
+	return q.RunRecordsSink(records, fnSink(fn))
+}
+
+// RunRecordsSink streams a sequence of independent JSON records
+// sequentially with a single engine into sink; Begin is called once per
+// record with the record index. A sink error aborts the remaining
+// records (the output destination is broken); an engine error is wrapped
+// with the index of the offending record.
+func (q *Query) RunRecordsSink(records [][]byte, sink Sink) (Stats, error) {
 	e := q.pool.Get().(runner)
 	defer q.pool.Put(e)
+	sr := newSinkRun(sink)
 	var out Stats
 	for i, rec := range records {
-		var emit core.EmitFunc
-		if fn != nil {
-			i, rec := i, rec
-			emit = func(s, en int) {
-				fn(Match{Start: s, End: en, Value: rec[s:en], Record: i})
-			}
-		}
-		st, err := e.Run(rec, emit)
+		st, err := e.Run(rec, sr.bind(i, rec))
 		out.add(st)
 		if err != nil {
-			return out, wrapRecordErr(i, err)
+			return out, sr.finish(wrapRecordErr(i, err))
+		}
+		if sr.err != nil {
+			return out, sr.finish(nil)
 		}
 	}
-	return out, nil
+	return out, sr.finish(nil)
 }
 
 // RunRecordsParallel processes independent records with `workers`
@@ -300,15 +310,12 @@ func wrapRecordErr(record int, err error) error {
 }
 
 // All collects every match into a slice of copied values. Convenient for
-// small result sets; for large ones prefer Run with a streaming fn.
+// small result sets; for large ones prefer RunSink with a StreamSink or
+// Run with a streaming fn.
 func (q *Query) All(data []byte) ([][]byte, error) {
-	var out [][]byte
-	_, err := q.Run(data, func(m Match) {
-		v := make([]byte, len(m.Value))
-		copy(v, m.Value)
-		out = append(out, v)
-	})
-	return out, err
+	var sink BufferSink
+	_, err := q.RunSink(data, &sink)
+	return sink.Values, err
 }
 
 // RunParallel evaluates the query over one large record using `workers`

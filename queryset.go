@@ -104,6 +104,35 @@ func (qs *QuerySet) RunIndexed(ix *Index, fn func(SetMatch)) (Stats, error) {
 	return out, err
 }
 
+// RunSink evaluates all queries over one record in a single pass,
+// delivering every match of every query to sink in document order. The
+// Sink contract carries no query index — use Run with a callback when
+// per-query attribution matters; RunSink suits the output modes where
+// the queries' results interleave into one stream (e.g. NDJSON out).
+// sink may be nil to only count matches.
+func (qs *QuerySet) RunSink(data []byte, sink Sink) (Stats, error) {
+	e := qs.pool.Get().(*core.MultiEngine)
+	defer qs.pool.Put(e)
+	sr := newSetSinkRun(sink)
+	st, err := e.Run(data, sr.bind(0, data))
+	var out Stats
+	out.add(st)
+	return out, sr.finish(err)
+}
+
+// RunIndexedSink is RunSink over a prebuilt structural index of the
+// buffer. The index must stay alive (not finally Released) for the
+// duration of the call.
+func (qs *QuerySet) RunIndexedSink(ix *Index, sink Sink) (Stats, error) {
+	e := qs.pool.Get().(*core.MultiEngine)
+	defer qs.pool.Put(e)
+	sr := newSetSinkRun(sink)
+	st, err := e.RunIndexed(ix.ix, sr.bind(0, ix.Data()))
+	var out Stats
+	out.add(st)
+	return out, sr.finish(err)
+}
+
 // RunRecords evaluates all queries over a sequence of independent JSON
 // records sequentially with a single shared engine, invoking fn for
 // every match of every query. SetMatch.Record carries the record index.

@@ -29,6 +29,19 @@ func (q *Query) RunReader(r io.Reader, fn func(Match)) (Stats, error) {
 // abandoned mid-evaluation, so the abort granularity is one record).
 // Engine errors are wrapped with the index of the offending record.
 func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, fn func(Match)) (Stats, error) {
+	return q.runReader(ctx, r, newSinkRun(fnSink(fn)))
+}
+
+// RunReaderSink streams newline-delimited JSON records from r into sink:
+// one Begin per record carrying the record index, spans delivered as
+// they are found, Flush at the end of the stream. Combined with a
+// StreamSink this is the zero-copy NDJSON path — matched values flow
+// from the record buffer straight to the writer.
+func (q *Query) RunReaderSink(ctx context.Context, r io.Reader, sink Sink) (Stats, error) {
+	return q.runReader(ctx, r, newSinkRun(sink))
+}
+
+func (q *Query) runReader(ctx context.Context, r io.Reader, sr *sinkRun) (Stats, error) {
 	e := q.pool.Get().(runner)
 	defer q.pool.Put(e)
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -38,35 +51,32 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, fn func(Match
 	for {
 		if err := ctx.Err(); err != nil {
 			out.latency = readerLatency(&lat)
-			return out, err
+			return out, sr.finish(err)
 		}
 		line, err := readLine(br)
 		if len(line) > 0 {
-			var emit func(s, en int)
-			if fn != nil {
-				i := recno
-				rec := line
-				emit = func(s, en int) {
-					fn(Match{Start: s, End: en, Value: rec[s:en], Record: i})
-				}
-			}
 			t0 := time.Now()
-			st, rerr := e.Run(line, emit)
+			st, rerr := e.Run(line, sr.bind(recno, line))
 			lat.Observe(time.Since(t0))
 			out.add(st)
 			if rerr != nil {
 				out.latency = readerLatency(&lat)
-				return out, wrapRecordErr(recno, rerr)
+				return out, sr.finish(wrapRecordErr(recno, rerr))
+			}
+			if sr.err != nil {
+				// The sink's destination is broken: stop reading.
+				out.latency = readerLatency(&lat)
+				return out, sr.finish(nil)
 			}
 			recno++
 		}
 		if err == io.EOF {
 			out.latency = readerLatency(&lat)
-			return out, nil
+			return out, sr.finish(nil)
 		}
 		if err != nil {
 			out.latency = readerLatency(&lat)
-			return out, err
+			return out, sr.finish(err)
 		}
 	}
 }

@@ -1,34 +1,56 @@
 #!/usr/bin/env bash
 # benchguard.sh BASE.txt HEAD.txt [MAX_REGRESSION_PCT]
 #
-# Compares the mean ns/op of BenchmarkRunLarge between two `go test
-# -bench` output files and fails when the head mean regresses more than
-# MAX_REGRESSION_PCT (default 2) over the base mean. Both files must be
-# produced on the SAME machine in the SAME CI run — cross-machine
-# comparisons are noise, which is why the checked-in bench_baseline.txt
-# is informational only.
+# Compares the mean ns/op of the guarded benchmarks between two `go test
+# -bench` output files and fails when any head mean regresses more than
+# MAX_REGRESSION_PCT (default 2) over its base mean. Guarded benchmarks:
+#
+#   BenchmarkRunLarge           — the disabled-telemetry count-only hot
+#                                 path (the zero-overhead-when-off
+#                                 telemetry contract)
+#   BenchmarkRunLargeSinkStream — the zero-copy streaming-sink output
+#                                 path (the sink layer must not tax the
+#                                 per-match emit)
+#
+# A benchmark absent from the base file is skipped, not failed: it did
+# not exist at the base commit. Both files must be produced on the SAME
+# machine in the SAME CI run — cross-machine comparisons are noise,
+# which is why the checked-in bench_baseline.txt is informational only.
 set -euo pipefail
 
 base_file=${1:?usage: benchguard.sh BASE.txt HEAD.txt [MAX_PCT]}
 head_file=${2:?usage: benchguard.sh BASE.txt HEAD.txt [MAX_PCT]}
 max_pct=${3:-2}
 
+# mean FILE BENCH — mean ns/op of BENCH's samples (optionally suffixed
+# -N by GOMAXPROCS), empty when the file has none.
 mean() {
-    awk '/^BenchmarkRunLarge[ \t]/ { sum += $3; n++ }
-         END { if (n == 0) { print "no BenchmarkRunLarge samples" > "/dev/stderr"; exit 1 }
-               printf "%.0f\n", sum / n }' "$1"
+    awk -v bench="^$2(-[0-9]+)?[ \t]" '$0 ~ bench { sum += $3; n++ }
+         END { if (n > 0) printf "%.0f\n", sum / n }' "$1"
 }
 
-base_mean=$(mean "$base_file")
-head_mean=$(mean "$head_file")
-
-awk -v base="$base_mean" -v head="$head_mean" -v max="$max_pct" 'BEGIN {
-    delta = (head - base) * 100.0 / base
-    printf "BenchmarkRunLarge mean: base %.0f ns/op, head %.0f ns/op, delta %+.2f%% (limit +%s%%)\n",
-           base, head, delta, max
-    if (delta > max) {
-        print "FAIL: disabled-telemetry hot path regressed beyond the limit" > "/dev/stderr"
-        exit 1
-    }
-    print "OK: within limit"
-}'
+fail=0
+for bench in BenchmarkRunLarge BenchmarkRunLargeSinkStream; do
+    head_mean=$(mean "$head_file" "$bench")
+    if [ -z "$head_mean" ]; then
+        echo "$bench: no samples in $head_file" >&2
+        fail=1
+        continue
+    fi
+    base_mean=$(mean "$base_file" "$bench")
+    if [ -z "$base_mean" ]; then
+        echo "$bench: absent from base; skipping (new benchmark)"
+        continue
+    fi
+    awk -v bench="$bench" -v base="$base_mean" -v head="$head_mean" -v max="$max_pct" 'BEGIN {
+        delta = (head - base) * 100.0 / base
+        printf "%s mean: base %.0f ns/op, head %.0f ns/op, delta %+.2f%% (limit +%s%%)\n",
+               bench, base, head, delta, max
+        if (delta > max) {
+            printf "FAIL: %s regressed beyond the limit\n", bench > "/dev/stderr"
+            exit 1
+        }
+        print "OK: within limit"
+    }' || fail=1
+done
+exit $fail
