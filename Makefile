@@ -1,0 +1,23 @@
+# The repository is a two-module workspace (go.work): the stdlib-only
+# library at the root and the lint suite under tools/lint. `go build
+# ./...` from the root does not cross the nested module boundary, so the
+# targets below spell both out.
+
+.PHONY: all build test race lint
+
+all: build test lint
+
+build:
+	go build ./...
+	cd tools/lint && go build ./...
+
+test:
+	go test ./...
+	cd tools/lint && go test ./...
+
+race:
+	go test -race ./...
+	cd tools/lint && go test -race ./...
+
+lint:
+	./scripts/lint.sh

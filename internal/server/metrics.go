@@ -92,6 +92,9 @@ type metricsSnapshot struct {
 	IO struct {
 		BytesIn  int64 `json:"bytes_in"`
 		BytesOut int64 `json:"bytes_out"`
+		// CancelledReads sits last so the established field order stays
+		// byte-compatible for existing consumers.
+		CancelledReads int64 `json:"cancelled_reads"`
 	} `json:"io"`
 	Engine struct {
 		Records          int64     `json:"records"`
@@ -183,6 +186,7 @@ func (s *Server) snapshot() promSnapshot {
 	out.Requests.InFlight = s.m.inFlight.Load()
 	out.IO.BytesIn = s.m.bytesIn.Load()
 	out.IO.BytesOut = s.m.bytesOut.Load()
+	out.IO.CancelledReads = s.m.cancelledReads.Load()
 
 	cs := s.cache.Stats()
 	out.Cache.Hits = cs.Hits
@@ -271,7 +275,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	p.Header("jsonski_fast_forward_ratio", "Fraction of engine input bytes fast-forwarded over.", "gauge")
 	p.Value("jsonski_fast_forward_ratio", nil, snap.Engine.FastForwardRatio)
 	p.Header("jsonski_cancelled_reads_total", "Request bodies abandoned because the client went away.", "counter")
-	p.Int("jsonski_cancelled_reads_total", nil, s.m.cancelledReads.Load())
+	p.Int("jsonski_cancelled_reads_total", nil, snap.IO.CancelledReads)
 
 	p.Header("jsonski_cache_events_total", "Compiled-query cache events.", "counter")
 	for _, e := range []struct {

@@ -262,6 +262,41 @@ func TestIndexRefcount(t *testing.T) {
 	ix.Release()
 }
 
+// TestIndexLeakDetection deliberately leaks a borrowed index: a second
+// holder Acquires and never pairs it while the creator departs. The
+// refcount accounting must make the leak observable — the count stays
+// pinned above zero and the mask buffer is withheld from the pool —
+// rather than recycling a buffer the borrower can still read. (The lint
+// suite's poolpair analyzer exists to keep this scenario out of
+// non-test code.)
+func TestIndexLeakDetection(t *testing.T) {
+	data := []byte(`{"a":[1,2,3]}`)
+	ix := NewIndex(data)
+	ix.Acquire() // the borrow that never gets its Release
+
+	ix.Release() // creator's reference
+	if got := ix.refs.Load(); got != 1 {
+		t.Fatalf("refs = %d after creator release, want 1: the leaked borrow must stay visible", got)
+	}
+	if ix.Data() == nil || ix.rows == nil {
+		t.Fatal("mask buffer recycled while a borrowed reference remained")
+	}
+	// The leaking borrower can still stream safely: masks intact.
+	opens, closes, _ := ix.DepthMasks(0)
+	if opens == 0 || closes == 0 {
+		t.Fatal("leaked index lost its structural masks")
+	}
+
+	// A late matching Release still reclaims everything.
+	ix.Release()
+	if got := ix.refs.Load(); got != 0 {
+		t.Fatalf("refs = %d after final release, want 0", got)
+	}
+	if ix.rows != nil {
+		t.Fatal("final release must return the mask buffer to the pool")
+	}
+}
+
 // TestIndexWordAccounting sanity-checks the size accessors used by the
 // cache budget.
 func TestIndexWordAccounting(t *testing.T) {

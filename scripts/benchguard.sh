@@ -53,4 +53,4 @@ for bench in BenchmarkRunLarge BenchmarkRunLargeSinkStream; do
         print "OK: within limit"
     }' || fail=1
 done
-exit $fail
+exit "$fail"

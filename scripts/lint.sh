@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# lint.sh — run the full lint suite exactly as CI's lint job does:
+#
+#   go vet        over both workspace modules (the library and tools/lint)
+#   jsonskilint   the custom invariant analyzers (poolpair, spanretain,
+#                 chargesite, atomicpair, tracenil; see DESIGN §5d)
+#   staticcheck   over the whole tree (CI pins the version; locally the
+#                 step is skipped with a warning when not installed)
+#   shellcheck    over scripts/*.sh (same skip rule)
+#
+# Usage: scripts/lint.sh   (from anywhere; it cds to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "==> go vet ./... (library module)"
+go vet ./... || fail=1
+
+echo "==> go vet ./... (tools/lint module)"
+(cd tools/lint && go vet ./...) || fail=1
+
+echo "==> jsonskilint ./..."
+go run ./tools/lint/cmd/jsonskilint ./... || fail=1
+
+echo "==> staticcheck ./..."
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./... || fail=1
+else
+    echo "warning: staticcheck not installed; skipping (CI installs honnef.co/go/tools/cmd/staticcheck, pinned)" >&2
+fi
+
+echo "==> shellcheck scripts/*.sh"
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck scripts/*.sh || fail=1
+else
+    echo "warning: shellcheck not installed; skipping" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint: FAILED" >&2
+else
+    echo "lint: OK"
+fi
+exit "$fail"

@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// A fixture directory is a small Go module (its own go.mod, typically
+// `module fix`) holding one package per behavior under test. A line
+// that should be flagged carries a comment of the form
+//
+//	x = leak() // want `never released`
+//
+// where each backquoted or double-quoted string is a regular
+// expression that must match a diagnostic reported on that line.
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"jsonski/tools/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the fixture module at dir (with the workspace disabled, so
+// fixtures under the repository's go.work still resolve standalone),
+// applies the analyzer to every package in it, and compares
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, []string{"GOWORK=off", "GOFLAGS="}, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures in %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages found in %s", dir)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+						pat, err := unquote(arg)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, arg, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		if !strings.HasSuffix(s, "`") || len(s) < 2 {
+			return "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : len(s)-1], nil
+	}
+	return strconv.Unquote(s)
+}

@@ -1,0 +1,112 @@
+// Command jsonskilint runs the jsonski custom analyzers over the
+// packages matched by its arguments:
+//
+//	go run ./tools/lint/cmd/jsonskilint ./...
+//
+// The suite machine-enforces the invariants the engine's performance
+// and memory safety rest on but the compiler cannot see (DESIGN §5d):
+//
+//	poolpair   — pooled / refcounted resources reach a Release or Put
+//	spanretain — zero-copy spans are not retained without a copy
+//	chargesite — fast-forward movements charge a named Table 1 group
+//	atomicpair — server metric atomics are read only in snapshot(),
+//	             and every counter reaches both metric expositions
+//	tracenil   — trace hooks stay behind a nil check
+//
+// Exit status is 1 when any analyzer reports a finding, 2 on failure
+// to load or type-check the target packages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jsonski/tools/lint/analysis"
+	"jsonski/tools/lint/passes/atomicpair"
+	"jsonski/tools/lint/passes/chargesite"
+	"jsonski/tools/lint/passes/poolpair"
+	"jsonski/tools/lint/passes/spanretain"
+	"jsonski/tools/lint/passes/tracenil"
+)
+
+var all = []*analysis.Analyzer{
+	poolpair.Analyzer,
+	spanretain.Analyzer,
+	chargesite.Analyzer,
+	atomicpair.Analyzer,
+	tracenil.Analyzer,
+}
+
+func main() {
+	var (
+		only = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jsonskilint [-run name,name] packages...\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "jsonskilint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskilint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, nil, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskilint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonskilint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module jsonski/tools/lint
+
+go 1.22

@@ -1,0 +1,290 @@
+// Package atomicpair enforces the server's metrics discipline (PR 3,
+// DESIGN §5b): snapshot() is the single reader of the live metric
+// atomics — every other function loading one can tear the pair of
+// expositions apart within one scrape — and every counter that
+// snapshot publishes must surface on BOTH endpoints: tagged for the
+// /metrics JSON document and rendered in handleProm's Prometheus
+// exposition. It triggers on any package that declares a struct type
+// named metrics with sync/atomic fields next to a snapshot function.
+package atomicpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"jsonski/tools/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpair",
+	Doc:  "metric atomics are loaded only in snapshot(), and every counter reaches both expositions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	fields := metricsFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	var snapshotFn, promFn *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "snapshot":
+				snapshotFn = fd
+			case "handleProm":
+				promFn = fd
+			}
+		}
+	}
+	if snapshotFn == nil {
+		return nil
+	}
+
+	checkSingleReader(pass, fields, snapshotFn)
+	loaded := loadsIn(pass, fields, snapshotFn.Body)
+	for fieldObj := range fields {
+		if !loaded[fieldObj] {
+			pass.Reportf(fieldObj.Pos(), "metrics counter %s is never read in snapshot(); it can appear on neither exposition", fieldObj.Name())
+		}
+	}
+	checkBothExpositions(pass, fields, snapshotFn, promFn)
+	return nil
+}
+
+// metricsFields returns the sync/atomic fields (or arrays of them) of
+// the package's metrics struct, keyed by field object.
+func metricsFields(pass *analysis.Pass) map[*types.Var]bool {
+	tn, ok := pass.Pkg.Scope().Lookup("metrics").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomic(st.Field(i).Type()) {
+			out[st.Field(i)] = true
+		}
+	}
+	return out
+}
+
+func isAtomic(t types.Type) bool {
+	t = types.Unalias(t)
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = arr.Elem()
+	}
+	n := analysis.NamedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// loadedField resolves a call expression to the metrics field whose
+// atomic it Loads, or nil. Handles m.counter.Load() and
+// m.arr[i].Load().
+func loadedField(pass *analysis.Pass, call *ast.CallExpr, fields map[*types.Var]bool) *types.Var {
+	fun, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Load" {
+		return nil
+	}
+	recv := analysis.Unparen(fun.X)
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = analysis.Unparen(ix.X)
+	}
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && fields[v] {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkSingleReader flags metric Loads anywhere outside snapshot.
+func checkSingleReader(pass *analysis.Pass, fields map[*types.Var]bool, snapshotFn *ast.FuncDecl) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd == snapshotFn || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if v := loadedField(pass, call, fields); v != nil {
+					pass.Reportf(call.Pos(), "metrics counter %s loaded outside snapshot(); snapshot is the single reader, so both expositions see one consistent read — take the value from the snapshot instead", v.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// loadsIn collects which metrics fields are Loaded inside body.
+func loadsIn(pass *analysis.Pass, fields map[*types.Var]bool, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v := loadedField(pass, call, fields); v != nil {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkBothExpositions follows each snapshot assignment that publishes
+// a metric atomic (out.Engine.Records = s.m.records.Load()) and checks
+// the destination path is JSON-tagged and re-read in handleProm.
+func checkBothExpositions(pass *analysis.Pass, fields map[*types.Var]bool, snapshotFn, promFn *ast.FuncDecl) {
+	promPaths := selectorPaths(promFn)
+
+	ast.Inspect(snapshotFn.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i := range a.Lhs {
+			var field *types.Var
+			ast.Inspect(a.Rhs[i], func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && field == nil {
+					field = loadedField(pass, call, fields)
+				}
+				return field == nil
+			})
+			if field == nil {
+				continue
+			}
+			root, path := splitSelectorChain(a.Lhs[i])
+			if root == nil || len(path) == 0 {
+				continue
+			}
+			checkJSONTags(pass, a.Lhs[i].Pos(), pass.TypeOf(root), path)
+			if promFn != nil && !hasSuffixPath(promPaths, path) {
+				pass.Reportf(a.Lhs[i].Pos(), "metrics counter %s (snapshot field %s) is missing from the Prometheus exposition in handleProm", field.Name(), strings.Join(path, "."))
+			}
+		}
+		return true
+	})
+}
+
+// splitSelectorChain decomposes out.Engine.SkippedBytes[g] into the
+// root identifier and the field path ["Engine", "SkippedBytes"].
+func splitSelectorChain(e ast.Expr) (*ast.Ident, []string) {
+	var path []string
+	for {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.Ident:
+			// reverse into source order
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return x, path
+		case *ast.SelectorExpr:
+			path = append(path, x.Sel.Name)
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// checkJSONTags verifies every field on the destination path carries a
+// json tag, so the counter actually marshals into the /metrics JSON
+// document.
+func checkJSONTags(pass *analysis.Pass, pos token.Pos, t types.Type, path []string) {
+	for _, name := range path {
+		field, tag := findField(t, name)
+		if field == nil {
+			return // unexported plumbing (out.queryLatency) or non-struct hop
+		}
+		j := reflect.StructTag(tag).Get("json")
+		if j == "" || j == "-" {
+			pass.Reportf(pos, "snapshot field %s has no json tag; the counter will not appear in the /metrics JSON document", name)
+			return
+		}
+		t = field.Type()
+		if arr, ok := types.Unalias(t).Underlying().(*types.Array); ok {
+			t = arr.Elem()
+		}
+	}
+}
+
+// findField resolves a field by name on t, looking through pointers and
+// one level of embedded structs, returning the field and its tag.
+func findField(t types.Type, name string) (*types.Var, string) {
+	st, ok := analysis.Deref(types.Unalias(t)).Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i), st.Tag(i)
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Embedded() {
+			if f, tag := findField(st.Field(i).Type(), name); f != nil {
+				return f, tag
+			}
+		}
+	}
+	return nil, ""
+}
+
+// selectorPaths collects every dotted selector path read in fn
+// (snap.Engine.Records -> ["Engine","Records"]).
+func selectorPaths(fn *ast.FuncDecl) [][]string {
+	if fn == nil {
+		return nil
+	}
+	var out [][]string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if _, path := splitSelectorChain(sel); len(path) > 0 {
+				out = append(out, path)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasSuffixPath reports whether any collected path ends with want
+// (snap.Engine.Records matches ["Engine","Records"]).
+func hasSuffixPath(paths [][]string, want []string) bool {
+	for _, p := range paths {
+		if len(p) < len(want) {
+			continue
+		}
+		tail := p[len(p)-len(want):]
+		match := true
+		for i := range want {
+			if tail[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

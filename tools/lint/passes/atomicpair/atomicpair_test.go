@@ -1,0 +1,12 @@
+package atomicpair_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/atomicpair"
+)
+
+func TestAtomicpair(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicpair.Analyzer)
+}

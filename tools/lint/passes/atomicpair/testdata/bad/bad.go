@@ -1,0 +1,35 @@
+package bad
+
+import "sync/atomic"
+
+type metrics struct {
+	hits   atomic.Int64
+	misses atomic.Int64 // want `metrics counter misses is never read in snapshot\(\)`
+	errors atomic.Int64
+	torn   atomic.Int64
+}
+
+type snap struct {
+	Hits   int64 `json:"hits"`
+	Errors int64 `json:"errors"`
+	Torn   int64 // no json tag: invisible on /metrics
+}
+
+type server struct{ m metrics }
+
+func (s *server) snapshot() snap {
+	var out snap
+	out.Hits = s.m.hits.Load()
+	out.Errors = s.m.errors.Load() // want `metrics counter errors \(snapshot field Errors\) is missing from the Prometheus exposition`
+	out.Torn = s.m.torn.Load()     // want `snapshot field Torn has no json tag`
+	return out
+}
+
+func (s *server) handleProm() {
+	sn := s.snapshot()
+	use(sn.Hits)
+	use(sn.Torn)
+	use(s.m.misses.Load()) // want `metrics counter misses loaded outside snapshot\(\)`
+}
+
+func use(v int64) {}

@@ -1,0 +1,44 @@
+package good
+
+import "sync/atomic"
+
+type metrics struct {
+	hits    atomic.Int64
+	misses  atomic.Int64
+	skipped [3]atomic.Int64
+}
+
+type snap struct {
+	Hits    int64    `json:"hits"`
+	Misses  int64    `json:"misses"`
+	Skipped [3]int64 `json:"skipped"`
+}
+
+type server struct{ m metrics }
+
+func (s *server) snapshot() snap {
+	var out snap
+	out.Hits = s.m.hits.Load()
+	out.Misses = s.m.misses.Load()
+	for g := range s.m.skipped {
+		out.Skipped[g] = s.m.skipped[g].Load()
+	}
+	return out
+}
+
+func (s *server) handleProm() {
+	sn := s.snapshot()
+	use(sn.Hits)
+	use(sn.Misses)
+	for _, v := range sn.Skipped {
+		use(v)
+	}
+}
+
+// Writers stay legal anywhere; only Load is restricted to snapshot.
+func (m *metrics) add() {
+	m.hits.Add(1)
+	m.skipped[0].Add(4)
+}
+
+func use(v int64) {}

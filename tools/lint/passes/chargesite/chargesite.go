@@ -1,0 +1,244 @@
+// Package chargesite enforces the fast-forward accounting discipline
+// in packages named fastforward (paper Table 1, DESIGN §3):
+//
+//   - every call that supplies a charge op must pass a non-empty string
+//     literal or forward an op parameter, so explain traces and
+//     per-group stats never carry blank operation names;
+//   - the Group constants G1..G5 keep the values 0..4 with NumGroups
+//     equal to 5 — Stats.SkippedBytes and the server's skipped-bytes
+//     gauges index arrays by these values;
+//   - charge sites whose op and group are both literal must agree with
+//     the Table 1 mapping (GoToObjEnd is a G4 movement, GoOverElems a
+//     G5 one, the *Out variants G3, ...);
+//   - every exported movement method (Go*/Next*) transitively reaches
+//     charge, so no skip escapes the accounting.
+package chargesite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"jsonski/tools/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "chargesite",
+	Doc:  "fast-forward movements must charge exactly one named Table 1 group",
+	Run:  run,
+}
+
+// table1 maps each fixed-group movement op to the group the paper's
+// Table 1 charges it to. Ops routed through a Group parameter
+// (GoOverObj, GoOverPriElems, ...) are charged by their caller and are
+// deliberately absent.
+var table1 = map[string]string{
+	"GoToObjEnd":       "G4",
+	"GoToAryEnd":       "G5",
+	"GoOverElems":      "G5",
+	"GoOverObjOut":     "G3",
+	"GoOverAryOut":     "G3",
+	"GoOverPriAttrOut": "G3",
+	"GoOverPriElemOut": "G3",
+	"NextAttr":         "G1",
+	"GoOverPriAttrs":   "G1",
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "fastforward" {
+		return nil
+	}
+	checkGroupConsts(pass)
+	checkOpArgs(pass)
+	checkReachesCharge(pass)
+	return nil
+}
+
+// checkGroupConsts verifies G1..G5 carry the array-index values the
+// rest of the tree (Stats.SkippedBytes, server gauges) hard-codes.
+func checkGroupConsts(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	if _, ok := scope.Lookup("Group").(*types.TypeName); !ok {
+		return // fixture package without the Group enum
+	}
+	want := []struct {
+		name  string
+		value int64
+	}{{"G1", 0}, {"G2", 1}, {"G3", 2}, {"G4", 3}, {"G5", 4}, {"NumGroups", 5}}
+	for _, w := range want {
+		c, ok := scope.Lookup(w.name).(*types.Const)
+		if !ok {
+			pass.Reportf(groupTypePos(pass), "package defines Group but no constant %s; Table 1 needs G1..G5 and NumGroups", w.name)
+			continue
+		}
+		if v, exact := constant.Int64Val(c.Val()); !exact || v != w.value {
+			pass.Reportf(c.Pos(), "%s = %s, want %d: group values index SkippedBytes arrays and must match Table 1 order", w.name, c.Val(), w.value)
+		}
+	}
+}
+
+func groupTypePos(pass *analysis.Pass) token.Pos {
+	if obj := pass.Pkg.Scope().Lookup("Group"); obj != nil {
+		return obj.Pos()
+	}
+	return pass.Files[0].Package
+}
+
+// checkOpArgs flags charge ops that are dynamic or empty, and literal
+// charge sites that disagree with Table 1.
+func checkOpArgs(pass *analysis.Pass) {
+	analysis.InspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSig(pass, call)
+		if sig == nil || sig.Variadic() {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			p := sig.Params().At(i)
+			if p.Name() != "op" || !isString(p.Type()) {
+				continue
+			}
+			arg := analysis.Unparen(call.Args[i])
+			switch a := arg.(type) {
+			case *ast.BasicLit:
+				if a.Kind != token.STRING {
+					pass.Reportf(arg.Pos(), "charge op must be a string literal or forwarded op parameter")
+					continue
+				}
+				s, err := strconv.Unquote(a.Value)
+				if err != nil || s == "" {
+					pass.Reportf(arg.Pos(), "charge op must be a non-empty operation name; empty ops make explain traces and per-group stats unreadable")
+					continue
+				}
+				checkTable1(pass, call, s, arg.Pos())
+			case *ast.Ident:
+				obj := pass.Info.Uses[a]
+				if obj == nil || obj.Name() != "op" || !isString(obj.Type()) {
+					pass.Reportf(arg.Pos(), "charge op must be a non-empty string literal or a forwarded op parameter, not %s", a.Name)
+				}
+			default:
+				pass.Reportf(arg.Pos(), "charge op must be a non-empty string literal or a forwarded op parameter")
+			}
+		}
+		return true
+	})
+}
+
+// checkTable1 compares a literal (group, op) pair at a charge call
+// against the fixed Table 1 mapping.
+func checkTable1(pass *analysis.Pass, call *ast.CallExpr, op string, pos token.Pos) {
+	wantGroup, known := table1[op]
+	if !known || analysis.CalleeName(call) != "charge" || len(call.Args) == 0 {
+		return
+	}
+	g, ok := analysis.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if c, isConst := pass.Info.Uses[g].(*types.Const); isConst && c.Name() != wantGroup {
+		pass.Reportf(pos, "op %q is charged to %s, but Table 1 charges it to %s", op, c.Name(), wantGroup)
+	}
+}
+
+// checkReachesCharge walks the in-package call graph and reports
+// exported movement methods (Go*/Next*) from which no path reaches
+// charge.
+func checkReachesCharge(pass *analysis.Pass) {
+	callees := make(map[string]map[string]bool) // decl name -> called in-package names
+	decls := make(map[string]*ast.FuncDecl)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls[fd.Name.Name] = fd
+			edges := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if obj := calleeObj(pass, call); obj != nil && obj.Pkg() == pass.Pkg {
+					edges[obj.Name()] = true
+				}
+				return true
+			})
+			callees[fd.Name.Name] = edges
+		}
+	}
+
+	var reaches func(name string, seen map[string]bool) bool
+	reaches = func(name string, seen map[string]bool) bool {
+		if name == "charge" {
+			return true
+		}
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		for callee := range callees[name] {
+			if reaches(callee, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for name, fd := range decls {
+		if fd.Recv == nil || !ast.IsExported(name) {
+			continue
+		}
+		if !isMovementName(name) {
+			continue
+		}
+		if !reaches(name, make(map[string]bool)) {
+			pass.Reportf(fd.Name.Pos(), "movement method %s never reaches charge; every fast-forward skip must be accounted to a Table 1 group", name)
+		}
+	}
+}
+
+func isMovementName(name string) bool {
+	return hasPrefix(name, "Go") || hasPrefix(name, "Next")
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func calleeSig(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	obj := calleeObj(pass, call)
+	if obj == nil || obj.Pkg() != pass.Pkg {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := analysis.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package chargesite_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/chargesite"
+)
+
+func TestChargesite(t *testing.T) {
+	analysistest.Run(t, "testdata", chargesite.Analyzer)
+}

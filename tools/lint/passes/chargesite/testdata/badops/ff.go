@@ -1,0 +1,41 @@
+// Package fastforward (badops fixture): correct Group constants, but
+// charge sites that drop the op name, pass a non-op value, disagree
+// with Table 1, or skip accounting entirely.
+package fastforward
+
+type Group int
+
+const (
+	G1 Group = iota
+	G2
+	G3
+	G4
+	G5
+	NumGroups
+)
+
+type FF struct{ n int64 }
+
+func (f *FF) charge(g Group, start, end int, op string) {
+	f.n += int64(end - start)
+}
+
+func (f *FF) GoToObjEnd() error {
+	f.charge(G2, 0, 8, "GoToObjEnd") // want `op "GoToObjEnd" is charged to G2, but Table 1 charges it to G4`
+	return nil
+}
+
+func (f *FF) GoToAryEnd() error {
+	f.charge(G5, 0, 8, "") // want `charge op must be a non-empty operation name`
+	return nil
+}
+
+func (f *FF) NextAttr(name string) error {
+	f.charge(G1, 0, 8, name) // want `not name`
+	return nil
+}
+
+func (f *FF) GoOverObj() error { // want `movement method GoOverObj never reaches charge`
+	f.n++
+	return nil
+}

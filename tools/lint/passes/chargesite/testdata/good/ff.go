@@ -1,0 +1,45 @@
+// Package fastforward (good fixture): every movement charges a named
+// op to its Table 1 group, forwarding op parameters where helpers are
+// shared.
+package fastforward
+
+type Group int
+
+const (
+	G1 Group = iota
+	G2
+	G3
+	G4
+	G5
+	NumGroups
+)
+
+type FF struct{ n int64 }
+
+func (f *FF) charge(g Group, start, end int, op string) {
+	f.n += int64(end - start)
+}
+
+func (f *FF) goOverPrimitive(g Group, op string) error {
+	f.charge(g, 0, 4, op)
+	return nil
+}
+
+func (f *FF) GoOverPriAttr(g Group) error {
+	return f.goOverPrimitive(g, "GoOverPriAttr")
+}
+
+func (f *FF) GoToObjEnd() error {
+	f.charge(G4, 0, 8, "GoToObjEnd")
+	return nil
+}
+
+func (f *FF) GoOverElems() error {
+	f.charge(G5, 0, 8, "GoOverElems")
+	return nil
+}
+
+func (f *FF) NextAttr() error {
+	f.charge(G1, 0, 8, "NextAttr")
+	return nil
+}

@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, "testdata", poolpair.Analyzer)
+}

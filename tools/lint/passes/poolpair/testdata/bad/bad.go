@@ -1,0 +1,46 @@
+package bad
+
+import "sync"
+
+// Res mimics stream.Index: refcounted, so poolpair tracks it.
+type Res struct{ refs int }
+
+func (r *Res) Acquire() { r.refs++ }
+func (r *Res) Release() { r.refs-- }
+
+func NewRes() *Res { return &Res{} }
+
+var pool sync.Pool
+
+func leakBound() {
+	r := NewRes() // want `never released`
+	_ = r.refs
+}
+
+func leakDropped() {
+	NewRes() // want `dropped without a Release/Put`
+}
+
+func leakEarlyReturn(cond bool) {
+	r := NewRes()
+	if cond {
+		return // want `release it with defer`
+	}
+	r.Release()
+}
+
+func leakPool() {
+	b := pool.Get() // want `never released`
+	_ = b
+}
+
+func leakAcquireOnly(r *Res) {
+	r.Acquire() // want `never released`
+	_ = r.refs
+}
+
+func leakThroughAlias() {
+	r := NewRes() // want `never released`
+	alias := r
+	_ = alias.refs
+}

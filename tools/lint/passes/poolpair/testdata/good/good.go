@@ -1,0 +1,61 @@
+package good
+
+import "sync"
+
+type Res struct{ refs int }
+
+func (r *Res) Acquire() { r.refs++ }
+func (r *Res) Release() { r.refs-- }
+
+func NewRes() *Res { return &Res{} }
+
+var pool sync.Pool
+
+type holder struct{ r *Res }
+
+func pairedDefer() {
+	r := NewRes()
+	defer r.Release()
+	_ = r.refs
+}
+
+func pairedStraightLine() int {
+	r := NewRes()
+	n := r.refs
+	r.Release()
+	return n
+}
+
+func releasedThroughAlias() {
+	r := NewRes()
+	alias := r
+	defer alias.Release()
+	_ = r.refs
+}
+
+func transferredByReturn() *Res {
+	return NewRes()
+}
+
+func transferredIntoStruct(h *holder) {
+	r := NewRes()
+	h.r = r
+}
+
+func chainedRelease() {
+	NewRes().Release()
+}
+
+func pooled() {
+	b := pool.Get()
+	defer pool.Put(b)
+	_ = b
+}
+
+func releaseHelper(r *Res) {
+	r.Acquire()
+	defer freeRes(r)
+	_ = r.refs
+}
+
+func freeRes(r *Res) { r.Release() }

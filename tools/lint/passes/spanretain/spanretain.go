@@ -1,0 +1,312 @@
+// Package spanretain enforces the zero-copy contract of the output
+// path (DESIGN §5c): the byte spans a run hands out — Match.Value in a
+// callback, the receiver's bound record buffer inside a Sink.Span
+// implementation — alias the input buffer and die with the record.
+// Retaining one (storing it outside the function, returning it,
+// sending it) without an explicit copy is the lazy-materialization
+// dangling-span hazard simdjson On-Demand documents; a copy
+// (append([]byte(nil), v...), copy, string(v)) is the sanctioned way
+// out. Passing a span onward as a call argument is delivery, not
+// retention, and stays allowed.
+package spanretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jsonski/tools/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanretain",
+	Doc:  "zero-copy match spans must not be stored, returned, or sent without a copy",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.InspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			if recv, fields := spanMethod(pass, fn); recv != nil {
+				checkBody(pass, fn.Body, func(e ast.Expr) bool {
+					return isRecvFieldSpan(pass, e, recv, fields)
+				})
+			}
+			if params := matchParams(pass, fn.Type); len(params) > 0 {
+				checkBody(pass, fn.Body, func(e ast.Expr) bool {
+					return isMatchValue(pass, e, params)
+				})
+			}
+		case *ast.FuncLit:
+			if params := matchParams(pass, fn.Type); len(params) > 0 {
+				checkBody(pass, fn.Body, func(e ast.Expr) bool {
+					return isMatchValue(pass, e, params)
+				})
+				return false // already checked; don't re-enter via outer decls
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// matchParams returns the objects of parameters whose type is a Match
+// shape: a named struct (or one embedding it) with a Value []byte
+// field. These are the engine callbacks — func(Match), func(SetMatch).
+func matchParams(pass *analysis.Pass, ft *ast.FuncType) []types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if hasByteField(obj.Type(), "Value") {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// spanMethod recognizes a Sink.Span implementation: a method named
+// Span with signature (int, int) error whose receiver struct binds the
+// record buffer in one or more []byte fields.
+func spanMethod(pass *analysis.Pass, fn *ast.FuncDecl) (types.Object, map[string]bool) {
+	if fn.Recv == nil || fn.Name.Name != "Span" || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil, nil
+	}
+	sig, ok := pass.TypeOf(fn.Name).(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return nil, nil
+	}
+	for i := 0; i < 2; i++ {
+		if b, ok := sig.Params().At(i).Type().(*types.Basic); !ok || b.Kind() != types.Int {
+			return nil, nil
+		}
+	}
+	recv := pass.Info.Defs[fn.Recv.List[0].Names[0]]
+	if recv == nil {
+		return nil, nil
+	}
+	st, ok := analysis.Deref(types.Unalias(recv.Type())).Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fields := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		if isByteSlice(st.Field(i).Type()) {
+			fields[st.Field(i).Name()] = true
+		}
+	}
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	return recv, fields
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func hasByteField(t types.Type, name string) bool {
+	t = analysis.Deref(types.Unalias(t))
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField() && isByteSlice(v.Type())
+}
+
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	r := analysis.RootIdent(e)
+	if r == nil {
+		return nil
+	}
+	if obj := pass.Info.Uses[r]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[r]
+}
+
+// isMatchValue reports whether e reads the Value span of one of the
+// callback's Match parameters (m.Value, m.Match.Value, m.Value[i:j]).
+func isMatchValue(pass *analysis.Pass, e ast.Expr, params []types.Object) bool {
+	e = analysis.Unparen(e)
+	if s, ok := e.(*ast.SliceExpr); ok {
+		return isMatchValue(pass, s.X, params)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Value" {
+		return false
+	}
+	obj := rootObj(pass, sel)
+	for _, p := range params {
+		if obj == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isRecvFieldSpan reports whether e aliases the record buffer bound in
+// the Span receiver (s.data, s.data[start:end]).
+func isRecvFieldSpan(pass *analysis.Pass, e ast.Expr, recv types.Object, fields map[string]bool) bool {
+	e = analysis.Unparen(e)
+	if s, ok := e.(*ast.SliceExpr); ok {
+		return isRecvFieldSpan(pass, s.X, recv, fields)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !fields[sel.Sel.Name] {
+		return false
+	}
+	return rootObj(pass, sel) == recv
+}
+
+// checkBody flags every retention of an aliasing expression inside one
+// span-delivery function.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, isRoot func(ast.Expr) bool) {
+	local := make(map[types.Object]bool)
+
+	// isAlias extends the root predicate with local variables holding a
+	// span and slices thereof.
+	var isAlias func(e ast.Expr) bool
+	isAlias = func(e ast.Expr) bool {
+		e = analysis.Unparen(e)
+		if isRoot(e) {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Info.Defs[e]
+			}
+			return obj != nil && local[obj]
+		case *ast.SliceExpr:
+			return isAlias(e.X)
+		}
+		return false
+	}
+
+	// carriesAlias extends isAlias over value shapes that keep the span
+	// reachable: composite literals holding one, &lit, and element
+	// appends (append(list, span) — copyless). A spread append
+	// (append(buf, span...)) copies the bytes and is clean.
+	var carriesAlias func(e ast.Expr) bool
+	carriesAlias = func(e ast.Expr) bool {
+		e = analysis.Unparen(e)
+		if isAlias(e) {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.UnaryExpr:
+			return carriesAlias(e.X)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if carriesAlias(v) {
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := analysis.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && e.Ellipsis == token.NoPos {
+				for _, arg := range e.Args[1:] {
+					if carriesAlias(arg) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// Pass 1: propagate spans into local variables (v := m.Value).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Lhs) != len(a.Rhs) {
+				return true
+			}
+			for i := range a.Lhs {
+				id, ok := analysis.Unparen(a.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || local[obj] || !isLocalTo(obj, body) {
+					continue
+				}
+				if isAlias(a.Rhs[i]) {
+					local[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag retention.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if carriesAlias(res) {
+					pass.Reportf(res.Pos(), "returning a zero-copy span that aliases the record buffer; copy it (append([]byte(nil), v...)) first")
+				}
+			}
+		case *ast.SendStmt:
+			if carriesAlias(n.Value) {
+				pass.Reportf(n.Value.Pos(), "sending a zero-copy span on a channel; the buffer is invalid after the record ends — copy it first")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				if !carriesAlias(n.Rhs[i]) {
+					continue
+				}
+				lhs := analysis.Unparen(n.Lhs[i])
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					pass.Reportf(n.Rhs[i].Pos(), "storing a zero-copy span outside the callback; the buffer is invalid after the record ends — copy it first")
+				case *ast.Ident:
+					obj := pass.Info.Defs[l]
+					if obj == nil {
+						obj = pass.Info.Uses[l]
+					}
+					if obj != nil && !isLocalTo(obj, body) {
+						pass.Reportf(n.Rhs[i].Pos(), "storing a zero-copy span in variable %q declared outside the callback; copy it first", l.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isLocalTo reports whether obj is declared inside body.
+func isLocalTo(obj types.Object, body *ast.BlockStmt) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}

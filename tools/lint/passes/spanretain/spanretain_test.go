@@ -1,0 +1,12 @@
+package spanretain_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/spanretain"
+)
+
+func TestSpanretain(t *testing.T) {
+	analysistest.Run(t, "testdata", spanretain.Analyzer)
+}

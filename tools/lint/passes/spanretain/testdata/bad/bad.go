@@ -1,0 +1,57 @@
+package bad
+
+// Match mimics jsonski.Match: Value aliases the input buffer.
+type Match struct {
+	Path  string
+	Value []byte
+}
+
+type collector struct {
+	last []byte
+	all  [][]byte
+}
+
+func (c *collector) OnMatch(m Match) {
+	c.last = m.Value               // want `storing a zero-copy span`
+	c.all = append(c.all, m.Value) // want `storing a zero-copy span`
+}
+
+func grab(m Match) []byte {
+	return m.Value // want `returning a zero-copy span`
+}
+
+func grabSub(m Match) []byte {
+	return m.Value[1:3] // want `returning a zero-copy span`
+}
+
+func ship(m Match, ch chan []byte) {
+	ch <- m.Value // want `sending a zero-copy span`
+}
+
+func aliasThenReturn(m Match) []byte {
+	v := m.Value
+	return v // want `returning a zero-copy span`
+}
+
+func retainInClosure(run func(fn func(Match))) [][]byte {
+	var out [][]byte
+	run(func(m Match) {
+		out = append(out, m.Value) // want `storing a zero-copy span in variable "out"`
+	})
+	return out
+}
+
+func wrapped(m Match) Match {
+	return Match{Value: m.Value} // want `returning a zero-copy span`
+}
+
+// sink mimics a Sink implementation bound to a record buffer.
+type sink struct {
+	data []byte
+	out  [][]byte
+}
+
+func (s *sink) Span(start, end int) error {
+	s.out = append(s.out, s.data[start:end]) // want `storing a zero-copy span`
+	return nil
+}

@@ -1,0 +1,48 @@
+package good
+
+type Match struct {
+	Path  string
+	Value []byte
+}
+
+type collector struct {
+	last []byte
+	all  [][]byte
+	n    int
+}
+
+func (c *collector) OnMatch(m Match) {
+	c.last = append([]byte(nil), m.Value...) // spread append copies
+	c.all = append(c.all, append([]byte(nil), m.Value...))
+	c.n += len(m.Value)
+}
+
+func asString(m Match) string {
+	return string(m.Value) // conversion copies
+}
+
+func copied(m Match, dst []byte) int {
+	return copy(dst, m.Value) // copy copies
+}
+
+func delivered(m Match, emit func([]byte)) {
+	emit(m.Value) // passing a span along is delivery, not retention
+}
+
+type writer interface {
+	Write(p []byte) (int, error)
+}
+
+type sink struct {
+	data []byte
+	out  [][]byte
+	w    writer
+}
+
+func (s *sink) Span(start, end int) error {
+	if _, err := s.w.Write(s.data[start:end]); err != nil {
+		return err
+	}
+	s.out = append(s.out, append([]byte(nil), s.data[start:end]...))
+	return nil
+}

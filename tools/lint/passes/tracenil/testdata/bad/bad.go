@@ -1,0 +1,35 @@
+package bad
+
+import "fix/telemetry"
+
+type engine struct {
+	trace *telemetry.Trace
+}
+
+func (e *engine) step() {
+	e.trace.Record(1, "op", 0, 4) // want `use of trace hook e.trace without a nil check`
+}
+
+func (e *engine) state() {
+	e.trace.State = 7 // want `use of trace hook e.trace without a nil check`
+}
+
+func (e *engine) aliased() {
+	tr := e.trace
+	tr.Record(1, "op", 0, 4) // want `use of trace hook tr without a nil check`
+}
+
+func (e *engine) wrongGuard(on bool) {
+	if on {
+		e.trace.Record(1, "op", 0, 4) // want `use of trace hook e.trace without a nil check`
+	}
+}
+
+func (e *engine) guardDoesNotCoverClosure() func() {
+	if e.trace != nil {
+		return func() {
+			e.trace.Record(1, "op", 0, 4) // want `use of trace hook e.trace without a nil check`
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package good
+
+import "fix/telemetry"
+
+type engine struct {
+	trace *telemetry.Trace
+}
+
+func (e *engine) guarded() {
+	if e.trace != nil {
+		e.trace.Record(1, "op", 0, 4)
+		e.trace.State = 3
+	}
+}
+
+func (e *engine) guardedConjunct(hot bool) {
+	if hot && e.trace != nil {
+		e.trace.Record(1, "op", 0, 4)
+	}
+}
+
+func (e *engine) earlyReturn() {
+	if e.trace == nil {
+		return
+	}
+	e.trace.Record(1, "op", 0, 4)
+}
+
+func (e *engine) elseBranch() {
+	if e.trace == nil {
+		return
+	} else {
+		e.trace.Record(1, "op", 0, 4)
+	}
+}
+
+func (e *engine) aliasGuard() {
+	tr := e.trace
+	if tr != nil {
+		tr.Record(1, "op", 0, 4)
+	}
+}
+
+func fresh() int {
+	tr := telemetry.NewTrace(8)
+	tr.Record(1, "op", 0, 4)
+	return tr.State
+}
+
+func fromLiteral() int {
+	tr := &telemetry.Trace{}
+	tr.Record(1, "op", 0, 4)
+	return tr.State
+}
+
+// Parameters are the caller's nil decision, like publicTrace in the
+// real tree.
+func render(tr *telemetry.Trace) int {
+	return tr.State
+}

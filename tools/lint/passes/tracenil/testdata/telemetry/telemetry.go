@@ -1,0 +1,12 @@
+// Package telemetry (fixture): a trace hook shaped like the real one —
+// a named Trace with a pointer Record method.
+package telemetry
+
+type Trace struct {
+	State int
+	n     int
+}
+
+func (t *Trace) Record(group int, op string, start, end int) { t.n++ }
+
+func NewTrace(limit int) *Trace { return &Trace{} }

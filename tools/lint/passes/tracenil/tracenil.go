@@ -1,0 +1,287 @@
+// Package tracenil enforces the telemetry contract (DESIGN §4): trace
+// hooks stored in engine structs are optional and nil by default, and
+// every touch of one from outside the telemetry package must sit
+// behind a nil check — that single branch is all a disabled trace
+// costs, so the hot path stays free. A hook is any named type Trace
+// with a pointer method Record; flagged receivers are struct-stored
+// hooks (c.trace, f.Trace) and locals aliasing them. Locals freshly
+// constructed with NewTrace or &Trace{...}, and function parameters
+// (the caller checked), are exempt.
+package tracenil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jsonski/tools/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tracenil",
+	Doc:  "trace hooks must stay behind a nil check so the disabled path stays free",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.InspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isTraceHook(pass, sel.X) {
+			return true
+		}
+		recv := analysis.Unparen(sel.X)
+		if !needsGuard(pass, recv, stack) {
+			return true
+		}
+		if !isGuarded(recv, n, stack) {
+			pass.Reportf(sel.Pos(), "use of trace hook %s without a nil check; guard it (if %s != nil) so disabled tracing stays free", exprString(recv), exprString(recv))
+		}
+		return true
+	})
+	return nil
+}
+
+// isTraceHook reports whether e has type *Trace for a named Trace with
+// a pointer Record method defined outside the package under analysis.
+func isTraceHook(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return false
+	}
+	named := analysis.NamedOf(t)
+	if named == nil || named.Obj().Name() != "Trace" {
+		return false
+	}
+	if named.Obj().Pkg() == pass.Pkg {
+		return false // the telemetry package may touch its own internals
+	}
+	return analysis.HasPtrMethod(named, "Record")
+}
+
+// needsGuard classifies the receiver: field-stored hooks and locals
+// aliasing them need the check; parameters and freshly constructed
+// traces do not.
+func needsGuard(pass *analysis.Pass, recv ast.Expr, stack []ast.Node) bool {
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		// c.trace, f.Trace, s.eng.trace: a struct-stored hook.
+		_ = r
+		return true
+	case *ast.Ident:
+		obj := pass.Info.Uses[r]
+		if obj == nil {
+			return false
+		}
+		funcs := analysis.EnclosingFuncs(stack)
+		for _, fn := range funcs {
+			if isParamOf(pass, fn, obj) {
+				return false // the caller owns the nil decision
+			}
+		}
+		if len(funcs) == 0 {
+			return false
+		}
+		switch classifyLocal(pass, analysis.FuncBody(funcs[0]), obj) {
+		case localFresh:
+			return false
+		case localFieldAlias:
+			return true
+		}
+		// Unknown provenance (package var, opaque call): only flag
+		// package-level hooks; stay quiet otherwise to avoid noise.
+		return obj.Parent() == pass.Pkg.Scope()
+	default:
+		_ = r
+		return false
+	}
+}
+
+const (
+	localUnknown = iota
+	localFresh
+	localFieldAlias
+)
+
+// classifyLocal finds the assignment that defines obj inside body and
+// reports whether it constructs a fresh trace or aliases a stored one.
+func classifyLocal(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) int {
+	if body == nil {
+		return localUnknown
+	}
+	result := localUnknown
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i := range a.Lhs {
+			id, ok := analysis.Unparen(a.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pass.Info.Defs[id]
+			if lobj == nil {
+				lobj = pass.Info.Uses[id]
+			}
+			if lobj != obj {
+				continue
+			}
+			switch rhs := analysis.Unparen(a.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if analysis.CalleeName(rhs) == "NewTrace" {
+					result = localFresh
+				}
+			case *ast.UnaryExpr:
+				if rhs.Op == token.AND {
+					if _, ok := analysis.Unparen(rhs.X).(*ast.CompositeLit); ok {
+						result = localFresh
+					}
+				}
+			case *ast.SelectorExpr:
+				result = localFieldAlias
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// isParamOf reports whether obj is a parameter or receiver of fn.
+func isParamOf(pass *analysis.Pass, fn ast.Node, obj types.Object) bool {
+	var ft *ast.FuncType
+	var recv *ast.FieldList
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft, recv = fn.Type, fn.Recv
+	case *ast.FuncLit:
+		ft = fn.Type
+	default:
+		return false
+	}
+	lists := []*ast.FieldList{ft.Params, recv}
+	for _, list := range lists {
+		if list == nil {
+			continue
+		}
+		for _, f := range list.List {
+			for _, name := range f.Names {
+				if pass.Info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isGuarded reports whether the use sits inside a nil check on recv:
+// within the body of `if recv != nil`, within the else of
+// `if recv == nil`, or after an early `if recv == nil { return }` in an
+// enclosing block.
+func isGuarded(recv ast.Expr, use ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			if within(use, anc.Body) && condNotNil(anc.Cond, recv) {
+				return true
+			}
+			if anc.Else != nil && within(use, anc.Else) && condIsNil(anc.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// The direct child of this block on the path to the use.
+			var child ast.Node = use
+			if i+1 < len(stack) {
+				child = stack[i+1]
+			}
+			for _, stmt := range anc.List {
+				if stmt == child || within(child, stmt) {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if ok && condIsNil(ifs.Cond, recv) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // don't let an outer function's guard cover a closure
+		}
+	}
+	return false
+}
+
+func within(n ast.Node, in ast.Node) bool {
+	return in.Pos() <= n.Pos() && n.End() <= in.End()
+}
+
+// condNotNil reports whether cond (possibly a && / || conjunction)
+// contains the conjunct `recv != nil`.
+func condNotNil(cond ast.Expr, recv ast.Expr) bool {
+	b, ok := analysis.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.NEQ:
+		return nilCompare(b, recv)
+	case token.LAND, token.LOR:
+		return condNotNil(b.X, recv) || condNotNil(b.Y, recv)
+	}
+	return false
+}
+
+func condIsNil(cond ast.Expr, recv ast.Expr) bool {
+	b, ok := analysis.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return false
+	}
+	return nilCompare(b, recv)
+}
+
+func nilCompare(b *ast.BinaryExpr, recv ast.Expr) bool {
+	x, y := analysis.Unparen(b.X), analysis.Unparen(b.Y)
+	if isNilIdent(y) {
+		return analysis.ExprEqual(x, recv)
+	}
+	if isNilIdent(x) {
+		return analysis.ExprEqual(y, recv)
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing function or loop (the early-return guard shape).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && analysis.CalleeName(call) == "panic"
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "the trace hook"
+}

@@ -1,0 +1,12 @@
+package tracenil_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/tracenil"
+)
+
+func TestTracenil(t *testing.T) {
+	analysistest.Run(t, "testdata", tracenil.Analyzer)
+}
