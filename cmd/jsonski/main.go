@@ -15,6 +15,16 @@
 // range, charged to which paper group, in which automaton state.
 // Malformed input exits non-zero with the offending record named;
 // Ctrl-C cancels cleanly between records.
+//
+// -save-index persists the input's structural index (document bytes,
+// bitmaps, and — with -records — the per-record table) as a checksummed
+// sidecar after evaluating; -load-index evaluates against such a
+// sidecar instead of an input file, memory-mapping the prebuilt masks:
+//
+//	jsonski -q '$.a' -save-index file.jski file.json
+//	jsonski -q '$.b' -load-index file.jski
+//	jsonski -q '$.v' -records -save-index corpus.jski corpus.ndjson
+//	jsonski -q '$.v' -records -load-index corpus.jski
 package main
 
 import (
@@ -43,6 +53,8 @@ func main() {
 		records = flag.Bool("records", false, "input is newline-delimited JSON records")
 		workers = flag.Int("workers", 1, "parallel workers for -records (0 = GOMAXPROCS)")
 		explain = flag.Bool("explain", false, "dump the fast-forward movement trace to stderr (single document only)")
+		saveIx  = flag.String("save-index", "", "persist the input's structural index to this sidecar file after evaluating")
+		loadIx  = flag.String("load-index", "", "evaluate against a sidecar written by -save-index instead of an input file")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -52,18 +64,27 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *query, *count, *stats, *records, *workers, *explain, flag.Args()); err != nil {
+	if err := run(ctx, *query, *count, *stats, *records, *workers, *explain, *saveIx, *loadIx, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonski:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, query string, countOnly, showStats, records bool, workers int, explain bool, args []string) error {
+func run(ctx context.Context, query string, countOnly, showStats, records bool, workers int, explain bool, saveIx, loadIx string, args []string) error {
 	if query == "" {
 		return fmt.Errorf("missing -q query")
 	}
 	if explain && records {
 		return fmt.Errorf("-explain applies to single documents; drop -records or explain one record at a time")
+	}
+	if explain && (saveIx != "" || loadIx != "") {
+		return fmt.Errorf("-explain traces a direct evaluation; drop -save-index/-load-index")
+	}
+	if saveIx != "" && loadIx != "" {
+		return fmt.Errorf("-save-index and -load-index are mutually exclusive")
+	}
+	if loadIx != "" && len(args) > 0 {
+		return fmt.Errorf("-load-index evaluates the document embedded in the sidecar; drop the input file")
 	}
 	q, err := jsonski.Compile(query)
 	if err != nil {
@@ -103,7 +124,9 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 
 	start := time.Now()
 	var st jsonski.Stats
-	if records {
+	if loadIx != "" || saveIx != "" {
+		st, err = runWithStore(ctx, q, in, records, saveIx, loadIx, sink)
+	} else if records {
 		// Stream records instead of slurping the file: memory stays
 		// bounded by the largest record, and ctx aborts between records.
 		if workers <= 0 {
@@ -162,4 +185,58 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 		return fmt.Errorf("writing output: %w", err)
 	}
 	return nil
+}
+
+// runWithStore handles the sidecar entry points: -load-index evaluates
+// the document (or per-record windows) embedded in a mapped sidecar;
+// -save-index slurps the input, evaluates it through a freshly built
+// index, and persists that index for later -load-index runs.
+func runWithStore(ctx context.Context, q *jsonski.Query, in io.Reader, records bool, saveIx, loadIx string, sink jsonski.Sink) (jsonski.Stats, error) {
+	if loadIx != "" {
+		ix, spans, err := jsonski.LoadIndex(loadIx)
+		if err != nil {
+			return jsonski.Stats{}, err
+		}
+		defer ix.Release()
+		return runIndexed(q, ix, spans, records, sink)
+	}
+	data, err := io.ReadAll(bufio.NewReader(in))
+	if err != nil {
+		return jsonski.Stats{}, fmt.Errorf("reading input: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return jsonski.Stats{}, err
+	}
+	var spans []jsonski.Span
+	if records {
+		spans = jsonski.RecordSpans(data)
+	}
+	ix := jsonski.BuildIndex(data)
+	defer ix.Release()
+	if err := jsonski.SaveIndex(saveIx, ix, spans); err != nil {
+		return jsonski.Stats{}, fmt.Errorf("saving index: %w", err)
+	}
+	return runIndexed(q, ix, spans, records, sink)
+}
+
+// runIndexed evaluates over an index: one window per record span when a
+// record table is present (each window borrows the whole-corpus masks),
+// the whole document otherwise.
+func runIndexed(q *jsonski.Query, ix *jsonski.Index, spans []jsonski.Span, records bool, sink jsonski.Sink) (jsonski.Stats, error) {
+	if !records || len(spans) == 0 {
+		return q.RunIndexedSink(ix, sink)
+	}
+	var total jsonski.Stats
+	for i, sp := range spans {
+		st, err := q.RunIndexedWindowSink(ix, int(sp.Start), int(sp.End), sink)
+		total.Matches += st.Matches
+		total.InputBytes += st.InputBytes
+		for g := range total.SkippedBytes {
+			total.SkippedBytes[g] += st.SkippedBytes[g]
+		}
+		if err != nil {
+			return total, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return total, nil
 }

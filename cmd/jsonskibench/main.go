@@ -6,10 +6,13 @@
 //	jsonskibench -exp fig10 -size 64MB
 //	jsonskibench -exp table6 -size 256MB
 //	jsonskibench -exp all -size 16MB -workers 16
+//	jsonskibench -exp store -size 16MB -json BENCH_6.json
 //
 // Sizes default to 16MB per dataset so a full run finishes in minutes;
 // the paper uses 1GB. Shapes (method ranking, ratios, scaling), not
-// absolute numbers, are the reproduction target.
+// absolute numbers, are the reproduction target. The store experiment
+// additionally writes a machine-readable report (the checked-in
+// BENCH_6.json trajectory) when -json names a file.
 package main
 
 import (
@@ -37,10 +40,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig10, fig11, fig12, fig13, fig14, table4, table6, ablation, sharedindex, all")
+		exp     = flag.String("exp", "all", "experiment: fig10, fig11, fig12, fig13, fig14, table4, table6, ablation, sharedindex, store, all")
 		size    = flag.String("size", "16MB", "dataset size (e.g. 64MB)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
+		jsonOut = flag.String("json", "", "write the store experiment's machine-readable report to this file (e.g. BENCH_6.json)")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -68,9 +72,10 @@ func main() {
 		"table6":      h.table6,
 		"ablation":    h.ablation,
 		"sharedindex": h.sharedindex,
+		"store":       func() { h.store(*jsonOut) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table4", "fig10", "fig11", "fig12", "fig13", "fig14", "table6", "ablation", "sharedindex"} {
+		for _, name := range []string{"table4", "fig10", "fig11", "fig12", "fig13", "fig14", "table6", "ablation", "sharedindex", "store"} {
 			exps[name]()
 		}
 		return
@@ -140,7 +145,11 @@ func (h *harness) small(name string) [][]byte {
 	return d
 }
 
-// timeIt runs fn enough times to exceed ~200ms and returns per-run time.
+// benchTime is the minimum sampling window per measurement; tests
+// shrink it so experiment smoke runs stay fast.
+var benchTime = 200 * time.Millisecond
+
+// timeIt runs fn enough times to exceed benchTime and returns per-run time.
 func timeIt(fn func()) time.Duration {
 	fn() // warm-up
 	n := 0
@@ -148,7 +157,7 @@ func timeIt(fn func()) time.Duration {
 	for {
 		fn()
 		n++
-		if d := time.Since(start); d > 200*time.Millisecond {
+		if d := time.Since(start); d > benchTime {
 			return d / time.Duration(n)
 		}
 		if n >= 100 {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
 
 func TestParseSize(t *testing.T) {
 	if n, err := parseSize("4MB"); err != nil || n != 4<<20 {
@@ -35,4 +41,47 @@ func TestExperimentsSmoke(t *testing.T) {
 	h.table4()
 	h.fig13()
 	h.table6()
+}
+
+// TestStoreExperiment smoke-runs the persistent-store experiment at a
+// tiny size and checks the machine-readable report it emits (the
+// BENCH_6.json trajectory) is well-formed and complete.
+func TestStoreExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer func(d time.Duration) { benchTime = d }(benchTime)
+	benchTime = time.Millisecond
+	out := filepath.Join(t.TempDir(), "BENCH_6.json")
+	h := &harness{size: 64 << 10, workers: 2, seed: 7}
+	h.store(out)
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep storeReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "store" || rep.Schema != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Queries) == 0 {
+		t.Fatal("report has no query rows")
+	}
+	for _, r := range rep.Queries {
+		if r.BuildNS <= 0 || r.LoadNS <= 0 || r.ICacheHitNS <= 0 || r.CatalogHitNS <= 0 {
+			t.Fatalf("query row %s has zero timings: %+v", r.ID, r)
+		}
+		if r.FileBytes <= 0 || r.DocBytes <= 0 {
+			t.Fatalf("query row %s has zero sizes: %+v", r.ID, r)
+		}
+	}
+	if rep.Corpus.Records == 0 || rep.Corpus.WindowNS <= 0 {
+		t.Fatalf("corpus section: %+v", rep.Corpus)
+	}
+	if rep.Summary.ICacheHitTotalNS <= 0 || rep.Summary.CorpusColdSpeedup <= 0 {
+		t.Fatalf("summary: %+v", rep.Summary)
+	}
 }

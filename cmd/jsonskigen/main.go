@@ -5,7 +5,13 @@
 //
 //	jsonskigen -dataset tt -size 64MB -o tt.json        # one large record
 //	jsonskigen -dataset bb -size 16MB -records -o bb.ndjson
+//	jsonskigen -dataset wm -size 1MB -seed 7 -o wm.json # reproducible variant
 //	jsonskigen -stats                                   # Table 4 for all
+//
+// Output is a pure function of (-dataset, -size, -records, -seed): the
+// same flags always produce byte-identical data, so benchmark corpora
+// can be regenerated instead of checked in, and -seed picks among
+// reproducible variants.
 package main
 
 import (
@@ -25,7 +31,7 @@ func main() {
 		size    = flag.String("size", "8MB", "approximate output size (e.g. 512KB, 64MB, 1GB)")
 		records = flag.Bool("records", false, "emit newline-delimited small records instead of one large record")
 		out     = flag.String("o", "-", "output file ('-' = stdout)")
-		seed    = flag.Int64("seed", 42, "generator seed")
+		seed    = flag.Int64("seed", 42, "generator seed; output is deterministic per (dataset, size, records, seed)")
 		stats   = flag.Bool("stats", false, "print Table-4-style statistics for every dataset and exit")
 	)
 	flag.Parse()

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jsonski/internal/gen"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := []struct {
@@ -25,6 +32,53 @@ func TestParseSize(t *testing.T) {
 		}
 		if !c.ok && err == nil {
 			t.Errorf("parseSize(%q) should fail", c.in)
+		}
+	}
+}
+
+// TestSeedDeterminism is the -seed regression: the same flags must
+// produce byte-identical output across runs, a different seed must not,
+// and the guarantee holds for both the large-record and -records modes.
+func TestSeedDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	generate := func(name string, records bool, seed int64) []byte {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := run("tt", "64KB", records, p, seed, false); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s: empty output", name)
+		}
+		return b
+	}
+	for _, records := range []bool{false, true} {
+		a := generate("a.json", records, 42)
+		b := generate("b.json", records, 42)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("records=%v: same seed produced different output", records)
+		}
+		c := generate("c.json", records, 7)
+		if bytes.Equal(a, c) {
+			t.Fatalf("records=%v: different seed produced identical output (seed not plumbed)", records)
+		}
+	}
+	// Every dataset generator is deterministic, not just tt.
+	for _, name := range gen.Names {
+		x, err := gen.Generate(name, 32<<10, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := gen.Generate(name, 32<<10, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(x, y) {
+			t.Fatalf("dataset %s: nondeterministic output", name)
 		}
 	}
 }

@@ -3,8 +3,9 @@ package jsonski
 import (
 	"bytes"
 	"container/list"
-	"encoding/binary"
 	"sync"
+
+	"jsonski/internal/store"
 )
 
 // DefaultIndexCacheBytes is the byte budget used by NewIndexCache when
@@ -59,29 +60,6 @@ func NewIndexCache(maxBytes int64) *IndexCache {
 	}
 }
 
-// fnv1a64 is an FNV-1a-style hash folding eight bytes per round instead
-// of one: cache keys only need determinism and spread (collisions are
-// disambiguated by a full byte comparison in the bucket), and hashing is
-// on every request's critical path, so it should run at memory speed
-// rather than one multiply per byte.
-func fnv1a64(data []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for len(data) >= 8 {
-		h ^= binary.LittleEndian.Uint64(data)
-		h *= prime64
-		data = data[8:]
-	}
-	for _, b := range data {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	return h
-}
-
 // Get returns a structural index for data, building and caching one on
 // first sight of the document. The returned index carries one reference
 // owned by the caller, who must Release it when done streaming — on a
@@ -94,7 +72,9 @@ func fnv1a64(data []byte) uint64 {
 // Documents larger than the cache budget are indexed but not cached;
 // the returned index is then recycled by the caller's Release alone.
 func (ic *IndexCache) Get(data []byte) *Index {
-	h := fnv1a64(data)
+	// The key is the same ContentHash a Catalog files sidecars under, so
+	// the in-memory and on-disk tiers address documents identically.
+	h := store.ContentHash(data)
 	ic.mu.Lock()
 	if ix := ic.lookup(h, data); ix != nil {
 		ic.hits++

@@ -44,7 +44,10 @@ func benchDoc() []byte {
 
 func benchServer(b *testing.B) *Server {
 	b.Helper()
-	s := New(Config{Workers: 2, IndexCacheBytes: -1})
+	s, err := New(Config{Workers: 2, IndexCacheBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Cleanup(func() { s.Close() })
 	return s
 }

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jsonski"
+)
+
+const catalogDoc = `{"user":{"name":"ada","id":7},"text":"bit-parallel","retweets":41}`
+
+func doReq(t *testing.T, method, url, contentType, body string) (int, string) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b := make([]byte, 0, 1024)
+	buf := make([]byte, 1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		b = append(b, buf[:n]...)
+		if err != nil {
+			return string(b)
+		}
+	}
+}
+
+// TestIndexAPIWithoutCatalog: every /index endpoint answers 503 when
+// the daemon runs without -index-dir.
+func TestIndexAPIWithoutCatalog(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, rq := range []struct{ method, path string }{
+		{"POST", "/index"},
+		{"GET", "/index"},
+		{"GET", "/index/0123456789abcdef"},
+		{"DELETE", "/index/0123456789abcdef"},
+	} {
+		code, body := doReq(t, rq.method, ts.URL+rq.path, "application/json", catalogDoc)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s without catalog: %d %s", rq.method, rq.path, code, body)
+		}
+	}
+}
+
+// TestIndexAPILifecycle drives POST → GET → re-POST → DELETE through
+// the management API.
+func TestIndexAPILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, IndexDir: dir})
+	hash := fmt.Sprintf("%016x", jsonski.ContentHash([]byte(catalogDoc)))
+
+	code, body := doReq(t, "POST", ts.URL+"/index", "application/json", catalogDoc)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /index: %d %s", code, body)
+	}
+	var ent struct {
+		Hash     string `json:"hash"`
+		DocBytes int    `json:"doc_bytes"`
+		Created  bool   `json:"created"`
+	}
+	if err := json.Unmarshal([]byte(body), &ent); err != nil {
+		t.Fatal(err)
+	}
+	if ent.Hash != hash || !ent.Created || ent.DocBytes != len(catalogDoc) {
+		t.Fatalf("POST /index entry: %+v (want hash %s)", ent, hash)
+	}
+
+	// Idempotent re-POST: 200, nothing rebuilt.
+	code, body = doReq(t, "POST", ts.URL+"/index", "application/json", catalogDoc)
+	if code != http.StatusOK {
+		t.Fatalf("re-POST /index: %d %s", code, body)
+	}
+
+	code, body = doReq(t, "GET", ts.URL+"/index", "", "")
+	if code != http.StatusOK || !strings.Contains(body, hash) {
+		t.Fatalf("GET /index: %d %s", code, body)
+	}
+	var list struct {
+		Stats   catalogJSON `json:"stats"`
+		Entries []struct {
+			Hash string `json:"hash"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Entries) != 1 || list.Stats.Builds != 1 || !list.Stats.Enabled {
+		t.Fatalf("GET /index list: %s", body)
+	}
+
+	code, _ = doReq(t, "GET", ts.URL+"/index/"+hash, "", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /index/{hash}: %d", code)
+	}
+	if code, _ = doReq(t, "GET", ts.URL+"/index/ffffffffffffffff", "", ""); code != http.StatusNotFound {
+		t.Fatalf("GET missing hash: %d", code)
+	}
+	if code, _ = doReq(t, "GET", ts.URL+"/index/zzz", "", ""); code != http.StatusBadRequest {
+		t.Fatalf("GET malformed hash: %d", code)
+	}
+
+	if code, _ = doReq(t, "DELETE", ts.URL+"/index/"+hash, "", ""); code != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", code)
+	}
+	if code, _ = doReq(t, "DELETE", ts.URL+"/index/"+hash, "", ""); code != http.StatusNotFound {
+		t.Fatalf("double DELETE: %d", code)
+	}
+}
+
+// TestIndexAPINDJSONCorpus persists an NDJSON body and checks the
+// record table is stored with it.
+func TestIndexAPINDJSONCorpus(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, IndexDir: dir})
+	corpus := "{\"v\":1}\n{\"v\":2}\n{\"v\":3}\n"
+	code, body := doReq(t, "POST", ts.URL+"/index", "application/x-ndjson", corpus)
+	if code != http.StatusCreated {
+		t.Fatalf("POST corpus: %d %s", code, body)
+	}
+	var ent struct {
+		Records int `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &ent); err != nil {
+		t.Fatal(err)
+	}
+	if ent.Records != 3 {
+		t.Fatalf("corpus records: %+v", ent)
+	}
+}
+
+// TestCatalogWarmRestartServing is the acceptance check: a daemon
+// restarted over the same -index-dir serves the first repeated-document
+// query from the warmed catalog with zero index rebuilds, proven by the
+// catalog hit counter and an untouched index cache.
+func TestCatalogWarmRestartServing(t *testing.T) {
+	dir := t.TempDir()
+
+	// First daemon: persist the document's index, then go away.
+	s1, err := New(Config{Workers: 1, IndexDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	if code, body := doReq(t, "POST", ts1.URL+"/index", "application/json", catalogDoc); code != http.StatusCreated {
+		t.Fatalf("POST /index: %d %s", code, body)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Second daemon over the same directory: warmed at startup.
+	s2, err := New(Config{Workers: 1, IndexDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+	if st := s2.Catalog().Stats(); st.Opens != 1 || st.Entries != 1 || st.Builds != 0 {
+		t.Fatalf("warm startup stats: %+v", st)
+	}
+
+	// The very first query for the document must be a catalog hit.
+	code, body := doReq(t, "POST", ts2.URL+"/query?path=$.user.name", "application/json", catalogDoc)
+	if code != http.StatusOK || strings.TrimSpace(body) != `{"record":0,"value":"ada"}` {
+		t.Fatalf("warm query: %d %q", code, body)
+	}
+	st := s2.Catalog().Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Builds != 0 {
+		t.Fatalf("warm serving stats (want 1 hit, 0 rebuilds): %+v", st)
+	}
+	// The in-memory index cache was never consulted, so no mask build
+	// happened anywhere in this process.
+	if ics := s2.IndexCache().Stats(); ics.Hits != 0 || ics.Misses != 0 || ics.BytesIndexed != 0 {
+		t.Fatalf("index cache touched on catalog hit: %+v", ics)
+	}
+
+	// /metrics carries the catalog section.
+	code, body = doReq(t, "GET", ts2.URL+"/metrics", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var snap struct {
+		Catalog catalogJSON `json:"catalog"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Catalog.Enabled || snap.Catalog.Hits != 1 || snap.Catalog.Entries != 1 {
+		t.Fatalf("/metrics catalog section: %+v", snap.Catalog)
+	}
+
+	// /metrics/prom exposes the catalog counters.
+	code, body = doReq(t, "GET", ts2.URL+"/metrics/prom", "", "")
+	if code != http.StatusOK ||
+		!strings.Contains(body, `jsonski_catalog_events_total{event="hit"} 1`) ||
+		!strings.Contains(body, "jsonski_catalog_enabled 1") {
+		t.Fatalf("/metrics/prom catalog exposition missing: %d\n%s", code, body)
+	}
+}
+
+// TestCatalogMissFallsThrough: a document not in the catalog still
+// evaluates (via the index cache tier) and counts a catalog miss.
+func TestCatalogMissFallsThrough(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, IndexDir: t.TempDir()})
+	code, body := doReq(t, "POST", ts.URL+"/query?path=$.user.id", "application/json", catalogDoc)
+	if code != http.StatusOK || strings.TrimSpace(body) != `{"record":0,"value":7}` {
+		t.Fatalf("miss query: %d %q", code, body)
+	}
+}

@@ -314,12 +314,15 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 		return
 	}
 	var res recResult
-	if s.icache != nil && !ev.explain && ev.evalIndexed != nil {
-		ix := s.icache.Get(data)
-		res = ev.evalIndexed(ix, 0)
-		ix.Release()
+	if !ev.explain && ev.evalIndexed != nil {
+		if ix := s.lookupIndex(data); ix != nil {
+			res = ev.evalIndexed(ix, 0)
+			ix.Release()
+		} else {
+			res = ev.eval(data, 0)
+		}
 	} else {
-		// Explain runs bypass the index cache: the trace should describe
+		// Explain runs bypass the index tiers: the trace should describe
 		// this evaluation's movements, not a cached index's.
 		res = ev.eval(data, 0)
 	}
@@ -337,6 +340,24 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 		trail.add(0, res.trace)
 		s.write(w, trail.line())
 	}
+}
+
+// lookupIndex resolves a single-document request body to a structural
+// index through the two tiers: the persistent catalog first (a hit is a
+// mapped sidecar — masks shared page-cache-wide, zero rebuild even
+// across daemon restarts), then the in-memory index cache (which builds
+// and retains on miss). Returns nil when both tiers are disabled; the
+// caller owns one reference otherwise.
+func (s *Server) lookupIndex(data []byte) *jsonski.Index {
+	if s.catalog != nil {
+		if ix, _ := s.catalog.Get(data); ix != nil {
+			return ix
+		}
+	}
+	if s.icache != nil {
+		return s.icache.Get(data)
+	}
+	return nil
 }
 
 // responseBufPool recycles the output buffers of the streaming
@@ -374,9 +395,8 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // after that the error becomes a trailing NDJSON line, as on the
 // record-stream path.
 func (s *Server) serveSingleStreaming(w http.ResponseWriter, data []byte, ev evaluator) {
-	var ix *jsonski.Index
-	if s.icache != nil {
-		ix = s.icache.Get(data)
+	ix := s.lookupIndex(data)
+	if ix != nil {
 		defer ix.Release()
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

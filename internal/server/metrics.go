@@ -140,6 +140,46 @@ type metricsSnapshot struct {
 		Revision  string `json:"revision,omitempty"`
 		Modified  bool   `json:"modified,omitempty"`
 	} `json:"build"`
+	// Catalog reports the persistent index catalog (-index-dir). It sits
+	// last per this struct's append-only field-order rule.
+	Catalog catalogJSON `json:"catalog"`
+}
+
+// catalogJSON is the catalog section of the metrics snapshot and of
+// GET /index.
+type catalogJSON struct {
+	Enabled     bool    `json:"enabled"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Opens       int64   `json:"opens"`
+	Builds      int64   `json:"builds"`
+	Evictions   int64   `json:"evictions"`
+	Invalidated int64   `json:"invalidated"`
+	Entries     int     `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	CapBytes    int64   `json:"cap_bytes"`
+	Mmap        bool    `json:"mmap"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+func catalogFrom(st jsonski.CatalogStats, enabled bool) catalogJSON {
+	out := catalogJSON{
+		Enabled:     enabled,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Opens:       st.Opens,
+		Builds:      st.Builds,
+		Evictions:   st.Evictions,
+		Invalidated: st.Invalidated,
+		Entries:     st.Entries,
+		Bytes:       st.Bytes,
+		CapBytes:    st.CapBytes,
+		Mmap:        st.Mapped,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		out.HitRate = float64(st.Hits) / float64(total)
+	}
+	return out
 }
 
 // promSnapshot bundles everything the exposition surfaces derive their
@@ -219,6 +259,10 @@ func (s *Server) snapshot() promSnapshot {
 	out.Latency.Query = latencyFrom(out.queryLatency)
 	out.Latency.Multi = latencyFrom(out.multiLatency)
 	out.Latency.Record = latencyFrom(out.recordLatency)
+
+	if s.catalog != nil {
+		out.Catalog = catalogFrom(s.catalog.Stats(), true)
+	}
 
 	out.UptimeSeconds = time.Since(s.start).Seconds()
 	b := telemetry.BuildInfo()
@@ -303,6 +347,28 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		p.Int("jsonski_index_cache_bytes", nil, snap.IndexCache.Bytes)
 		p.Header("jsonski_index_cache_hit_ratio", "Structural-index cache hit ratio.", "gauge")
 		p.Value("jsonski_index_cache_hit_ratio", nil, snap.IndexCache.HitRate)
+	}
+
+	p.Header("jsonski_catalog_enabled", "Whether the persistent index catalog (-index-dir) is enabled.", "gauge")
+	p.Int("jsonski_catalog_enabled", nil, boolGauge(snap.Catalog.Enabled))
+	if snap.Catalog.Enabled {
+		p.Header("jsonski_catalog_events_total", "Persistent index catalog events.", "counter")
+		for _, e := range []struct {
+			ev string
+			v  int64
+		}{
+			{"hit", snap.Catalog.Hits}, {"miss", snap.Catalog.Misses},
+			{"open", snap.Catalog.Opens}, {"build", snap.Catalog.Builds},
+			{"eviction", snap.Catalog.Evictions}, {"invalidated", snap.Catalog.Invalidated},
+		} {
+			p.Int("jsonski_catalog_events_total", []telemetry.Label{{Name: "event", Value: e.ev}}, e.v)
+		}
+		p.Header("jsonski_catalog_entries", "Serialized index sidecars resident in the catalog.", "gauge")
+		p.Int("jsonski_catalog_entries", nil, int64(snap.Catalog.Entries))
+		p.Header("jsonski_catalog_bytes", "On-disk bytes of cataloged sidecars.", "gauge")
+		p.Int("jsonski_catalog_bytes", nil, snap.Catalog.Bytes)
+		p.Header("jsonski_catalog_hit_ratio", "Catalog hit ratio on single-document queries.", "gauge")
+		p.Value("jsonski_catalog_hit_ratio", nil, snap.Catalog.HitRate)
 	}
 
 	p.Header("jsonski_workers", "Evaluation worker goroutines.", "gauge")

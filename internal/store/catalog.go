@@ -1,0 +1,364 @@
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"jsonski/internal/stream"
+)
+
+// DefaultCatalogBytes is the on-disk byte budget used by OpenCatalog
+// when maxBytes <= 0.
+const DefaultCatalogBytes = 256 << 20
+
+// Catalog is a directory of serialized indexes (.jski sidecars) keyed
+// by document content hash, with LRU eviction against an on-disk byte
+// budget. It is the durable sibling of the in-memory IndexCache: a
+// daemon restarted against the same directory serves its first repeated
+// query from mapped masks instead of rebuilding.
+//
+// Files are refcounted, so an entry can be evicted — and its sidecar
+// unlinked — while readers are still streaming over its mapped index;
+// the mapping is released when the last reader lets go.
+type Catalog struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	curBytes int64
+	ll       *list.List               // front = most recently used
+	items    map[uint64]*list.Element // content hash -> entry
+	closed   bool
+
+	hits        int64
+	misses      int64
+	opens       int64 // sidecars mapped during the startup scan
+	builds      int64 // indexes built and persisted by Put
+	evictions   int64
+	invalidated int64 // corrupt/stale sidecars removed
+}
+
+type catEntry struct {
+	hash uint64
+	f    *File
+	cost int64
+}
+
+// OpenCatalog opens (creating if needed) the sidecar directory at dir
+// and warms the catalog from every valid .jski file in it. Corrupt,
+// truncated, or misnamed sidecars — and temp files left by a crashed
+// Write — are deleted and counted as invalidated rather than reported
+// as errors: a damaged cache entry is a miss, not a failure. Entries
+// are ordered least-recently-modified first so the byte budget evicts
+// the stalest files. maxBytes <= 0 selects DefaultCatalogBytes.
+func OpenCatalog(dir string, maxBytes int64) (*Catalog, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCatalogBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type found struct {
+		f     *File
+		mtime int64
+	}
+	var files []found
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.Contains(name, Ext+".tmp") {
+			// Leftover from a crashed atomic write; never renamed into
+			// place, so never valid.
+			os.Remove(filepath.Join(dir, name))
+			c.invalidated++
+			continue
+		}
+		if !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		wantHash, perr := strconv.ParseUint(strings.TrimSuffix(name, Ext), 16, 64)
+		f, oerr := Open(path)
+		if oerr != nil || perr != nil || f.Hash() != wantHash {
+			if oerr == nil {
+				f.Close()
+			}
+			os.Remove(path)
+			c.invalidated++
+			continue
+		}
+		info, ierr := de.Info()
+		var mtime int64
+		if ierr == nil {
+			mtime = info.ModTime().UnixNano()
+		}
+		files = append(files, found{f: f, mtime: mtime})
+		c.opens++
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, fd := range files {
+		c.insertLocked(fd.f)
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+// Dir returns the sidecar directory.
+func (c *Catalog) Dir() string { return c.dir }
+
+// pathFor returns the sidecar path for a content hash.
+func (c *Catalog) pathFor(h uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x", h)+Ext)
+}
+
+// insertLocked pushes f as the most-recently-used entry. A colliding
+// entry for the same hash (same document re-persisted, or a true 64-bit
+// collision) is replaced. Caller holds c.mu (or is initializing).
+func (c *Catalog) insertLocked(f *File) {
+	h := f.Hash()
+	if el, ok := c.items[h]; ok {
+		c.removeLocked(el, false)
+	}
+	el := c.ll.PushFront(&catEntry{hash: h, f: f, cost: f.SizeBytes()})
+	c.items[h] = el
+	c.curBytes += f.SizeBytes()
+}
+
+// removeLocked unlinks an entry, closes its File (readers holding
+// indexes keep the mapping alive), and optionally deletes the sidecar.
+// Caller holds c.mu.
+func (c *Catalog) removeLocked(el *list.Element, unlink bool) {
+	e := el.Value.(*catEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.hash)
+	c.curBytes -= e.cost
+	if unlink {
+		os.Remove(c.pathFor(e.hash))
+	}
+	e.f.Close()
+}
+
+// evictLocked trims least-recently-used entries — unlinking their
+// sidecars — until within the byte budget. Caller holds c.mu.
+func (c *Catalog) evictLocked() {
+	for c.curBytes > c.maxBytes && c.ll.Len() > 0 {
+		c.removeLocked(c.ll.Back(), true)
+		c.evictions++
+	}
+}
+
+// Get returns a mapped index and the record-span table for data if the
+// catalog holds its serialized form, or (nil, nil) on a miss. The
+// returned index carries one reference owned by the caller, who must
+// Release it when done streaming; that reference pins the mapping
+// against concurrent eviction or Delete.
+func (c *Catalog) Get(data []byte) (*stream.Index, []Span) {
+	h := ContentHash(data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[h]; ok {
+		e := el.Value.(*catEntry)
+		if bytes.Equal(e.f.Data(), data) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return e.f.Index(), e.f.Spans()
+		}
+	}
+	c.misses++
+	return nil, nil
+}
+
+// Contains reports whether the catalog holds an entry for hash, without
+// touching LRU order or hit/miss counters.
+func (c *Catalog) Contains(hash uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[hash]
+	return ok
+}
+
+// Put builds a structural index for data, persists it (with the
+// optional NDJSON record spans) as a sidecar, and returns the mapped
+// index — the same ownership contract as Get. If the document is
+// already cataloged its existing mapped index is returned and nothing
+// is rebuilt. The index build and file write run outside the catalog
+// lock; a concurrent Put of the same document resolves to a single
+// entry (both writes produced identical bytes, so the loser just drops
+// its duplicate mapping).
+func (c *Catalog) Put(data []byte, spans []Span) (*stream.Index, []Span, error) {
+	h := ContentHash(data)
+	if ix, sp := c.getExisting(h, data); ix != nil {
+		return ix, sp, nil
+	}
+
+	built := stream.NewIndex(data)
+	var f *File
+	// A concurrent eviction of a same-hash entry can unlink the sidecar
+	// between our Write and Open; re-write and retry when that tiny
+	// window is hit.
+	for attempt := 0; ; attempt++ {
+		if err := Write(c.pathFor(h), built, spans); err != nil {
+			built.Release()
+			return nil, nil, err
+		}
+		var err error
+		f, err = Open(c.pathFor(h))
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) || attempt >= 8 {
+			built.Release()
+			return nil, nil, err
+		}
+	}
+	built.Release()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		f.Close()
+		return nil, nil, fmt.Errorf("store: catalog is closed")
+	}
+	c.builds++
+	if el, ok := c.items[h]; ok {
+		if e := el.Value.(*catEntry); bytes.Equal(e.f.Data(), data) {
+			// Lost an insert race; keep the incumbent.
+			c.ll.MoveToFront(el)
+			ix, sp := e.f.Index(), e.f.Spans()
+			c.mu.Unlock()
+			f.Close()
+			return ix, sp, nil
+		}
+	}
+	c.insertLocked(f)
+	ix, sp := f.Index(), f.Spans()
+	c.evictLocked()
+	c.mu.Unlock()
+	return ix, sp, nil
+}
+
+// getExisting is Put's fast path: a silent lookup that does not count
+// as a hit or miss (Put callers usually already took a Get miss).
+func (c *Catalog) getExisting(h uint64, data []byte) (*stream.Index, []Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[h]; ok {
+		e := el.Value.(*catEntry)
+		if bytes.Equal(e.f.Data(), data) {
+			c.ll.MoveToFront(el)
+			return e.f.Index(), e.f.Spans()
+		}
+	}
+	return nil, nil
+}
+
+// Delete drops the entry for hash and unlinks its sidecar, reporting
+// whether one existed. In-flight readers holding its index are
+// unaffected; their mapping is released with their last reference.
+func (c *Catalog) Delete(hash uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el, true)
+	return true
+}
+
+// Len returns the number of cataloged sidecars.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// EntryInfo describes one cataloged sidecar.
+type EntryInfo struct {
+	Hash      string `json:"hash"` // %016x, the sidecar's basename
+	FileBytes int64  `json:"file_bytes"`
+	DocBytes  int    `json:"doc_bytes"`
+	Records   int    `json:"records"`
+}
+
+// Entries returns a snapshot of the catalog contents, most recently
+// used first.
+func (c *Catalog) Entries() []EntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*catEntry)
+		out = append(out, EntryInfo{
+			Hash:      fmt.Sprintf("%016x", e.hash),
+			FileBytes: e.f.SizeBytes(),
+			DocBytes:  e.f.Len(),
+			Records:   e.f.Records(),
+		})
+	}
+	return out
+}
+
+// CatalogStats is a point-in-time snapshot of catalog effectiveness.
+type CatalogStats struct {
+	Hits        int64
+	Misses      int64
+	Opens       int64 // sidecars mapped during startup warming
+	Builds      int64 // indexes built and persisted by Put
+	Evictions   int64
+	Invalidated int64 // corrupt/stale sidecars removed
+	Entries     int
+	Bytes       int64 // on-disk bytes of cataloged sidecars
+	CapBytes    int64
+	Mapped      bool // true when loads are zero-copy mmap on this platform
+}
+
+// Stats returns a snapshot of the catalog counters.
+func (c *Catalog) Stats() CatalogStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CatalogStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Opens:       c.opens,
+		Builds:      c.builds,
+		Evictions:   c.evictions,
+		Invalidated: c.invalidated,
+		Entries:     c.ll.Len(),
+		Bytes:       c.curBytes,
+		CapBytes:    c.maxBytes,
+		Mapped:      mmapSupported,
+	}
+}
+
+// Close drops every entry's File without unlinking sidecars (they are
+// the durable cache a future process warms from). In-flight readers
+// keep their mappings until released. Further Put calls fail; Get
+// misses.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for c.ll.Len() > 0 {
+		c.removeLocked(c.ll.Back(), false)
+	}
+}

@@ -1,0 +1,29 @@
+package store
+
+import "encoding/binary"
+
+// ContentHash is the repository's content key: an FNV-1a-style hash
+// folding eight bytes per round. It is the same function the in-memory
+// IndexCache keys on (collisions are always disambiguated by a full
+// byte comparison wherever the hash is used), so a document hashes to
+// the same catalog key whether it is cached in RAM or persisted to
+// disk. It needs determinism and spread, not collision resistance, and
+// it sits on every request's critical path, so it runs at memory speed
+// rather than one multiply per byte.
+func ContentHash(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for len(data) >= 8 {
+		h ^= binary.LittleEndian.Uint64(data)
+		h *= prime64
+		data = data[8:]
+	}
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

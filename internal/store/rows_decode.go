@@ -1,0 +1,27 @@
+package store
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// u64Bytes views a uint64 slice as raw bytes (native order). Used by
+// the portable loader to read file contents into an 8-byte-aligned
+// buffer; not an endianness conversion.
+func u64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*8)
+}
+
+// decodeRows copies a little-endian byte section into a fresh uint64
+// slice — the portable path shared by the big-endian build and the
+// misaligned-buffer fallback.
+func decodeRows(b []byte) []uint64 {
+	rows := make([]uint64, len(b)/8)
+	for i := range rows {
+		rows[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return rows
+}

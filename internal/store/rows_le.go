@@ -1,0 +1,34 @@
+//go:build 386 || amd64 || amd64p32 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+package store
+
+import "unsafe"
+
+// The file format is little-endian, so on little-endian architectures
+// the mask-row section of a mapped file IS the in-memory representation
+// and can be reinterpreted in place — the zero-copy half of the store's
+// contract. The big-endian twin of this file decodes a copy instead.
+
+// rowsView reinterprets a little-endian byte section as uint64 mask
+// rows without copying. shared reports that the result aliases b (the
+// caller must keep the backing mapping alive). Falls back to a decoded
+// copy only if the section is misaligned, which the page-aligned layout
+// prevents for mapped files.
+func rowsView(b []byte) (rows []uint64, shared bool) {
+	if len(b) == 0 {
+		return nil, false
+	}
+	if uintptr(unsafe.Pointer(unsafe.SliceData(b)))%8 != 0 {
+		return decodeRows(b), false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8), true
+}
+
+// rowsBytes reinterprets mask rows as their serialized little-endian
+// bytes without copying, for the write path.
+func rowsBytes(rows []uint64) []byte {
+	if len(rows) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(rows))), len(rows)*8)
+}

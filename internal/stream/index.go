@@ -34,6 +34,11 @@ const (
 	idxStride
 )
 
+// RowStride is the number of uint64 mask rows per 64-byte input word —
+// the unit of the on-disk serialization (internal/store). A change here
+// is a file-format change and must bump the store's format version.
+const RowStride = idxStride
+
 // metaRow maps a Meta to its row slot.
 var metaRow = [NumMeta]int{
 	LBrace:   idxLBrace,
@@ -64,6 +69,14 @@ type Index struct {
 	words int
 	rows  []uint64
 	refs  atomic.Int32
+
+	// external marks an index whose rows are owned elsewhere (an mmap'ed
+	// file, a decoded snapshot): Release must never return them to
+	// rowPool, because the pool would hand borrowed — possibly unmapped —
+	// memory to a future NewIndex. onRelease, when set, runs after the
+	// final Release instead (typically dropping a mapping reference).
+	external  bool
+	onRelease func()
 }
 
 // NewIndex builds the structural index of data in one pass. The buffer
@@ -115,6 +128,36 @@ func NewIndex(data []byte) *Index {
 	return ix
 }
 
+// NewMappedIndex wraps already-materialized mask rows owned by the
+// caller — typically a memory-mapped serialization of an index — into
+// an Index borrowing streams can use exactly like a built one. rows
+// must hold RowStride uint64s per 64-byte word of data, in NewIndex's
+// layout; len(rows) is validated against len(data). The rows are
+// treated as immutable and are never returned to the internal pool;
+// onRelease, if non-nil, runs once after the final Release (use it to
+// unpin the mapping).
+func NewMappedIndex(data []byte, rows []uint64, onRelease func()) (*Index, error) {
+	words := (len(data) + bits.WordSize - 1) / bits.WordSize
+	if len(rows) != words*idxStride {
+		return nil, fmt.Errorf("stream: mapped index geometry mismatch: %d rows for %d words (want %d)",
+			len(rows), words, words*idxStride)
+	}
+	ix := &Index{data: data, words: words, rows: rows, external: true, onRelease: onRelease}
+	ix.refs.Store(1)
+	return ix, nil
+}
+
+// Mapped reports whether the index borrows externally owned rows (see
+// NewMappedIndex). A mapped index never touches the mask-buffer pool.
+func (ix *Index) Mapped() bool { return ix.external }
+
+// Rows exposes the raw mask-row buffer (words × RowStride uint64s, one
+// strided row per 64-byte input word) for serialization. The buffer is
+// READ-ONLY: it may be shared by concurrent borrowing streams or backed
+// by a read-only mapping, and the mapownership analyzer flags any write
+// through it.
+func (ix *Index) Rows() []uint64 { return ix.rows }
+
 // Data returns the indexed buffer.
 func (ix *Index) Data() []byte { return ix.data }
 
@@ -163,6 +206,14 @@ func (ix *Index) Release() {
 	rows := ix.rows
 	ix.rows = nil
 	ix.data = nil
+	if ix.external {
+		// Externally owned rows (a mapping, a decoded snapshot) must not
+		// reach the pool; hand control back to the owner instead.
+		if ix.onRelease != nil {
+			ix.onRelease()
+		}
+		return
+	}
 	if rows != nil {
 		rows = rows[:0]
 		rowPool.Put(&rows)

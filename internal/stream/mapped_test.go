@@ -1,0 +1,66 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMappedIndexMatchesBuilt verifies that an index wrapped around a
+// copy of a built index's rows serves bit-identical masks, and that its
+// release path never touches the row pool.
+func TestMappedIndexMatchesBuilt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 1024, 4097} {
+		data := randJSONish(rng, n)
+		built := NewIndex(data)
+		rows := append([]uint64(nil), built.Rows()...)
+		released := false
+		mapped, err := NewMappedIndex(data, rows, func() { released = true })
+		if err != nil {
+			t.Fatalf("n=%d: NewMappedIndex: %v", n, err)
+		}
+		if !mapped.Mapped() {
+			t.Fatalf("n=%d: Mapped() = false on mapped index", n)
+		}
+		if built.Mapped() {
+			t.Fatalf("n=%d: Mapped() = true on built index", n)
+		}
+		if mapped.Words() != built.Words() || mapped.MaskBytes() != built.MaskBytes() {
+			t.Fatalf("n=%d: geometry mismatch", n)
+		}
+		ls, ms := NewIndexed(built), NewIndexed(mapped)
+		for w := 0; w < built.Words(); w++ {
+			for m := Meta(0); m < NumMeta; m++ {
+				if a, b := ls.Mask(m), ms.Mask(m); a != b {
+					t.Fatalf("n=%d word %d meta %v: built %x mapped %x", n, w, m, a, b)
+				}
+			}
+			ls.NextWord()
+			ms.NextWord()
+		}
+		built.Release()
+		mapped.Acquire()
+		mapped.Release()
+		if released {
+			t.Fatal("onRelease ran before final Release")
+		}
+		mapped.Release()
+		if !released {
+			t.Fatal("onRelease did not run after final Release")
+		}
+	}
+}
+
+// TestMappedIndexGeometryValidation pins the row-count check.
+func TestMappedIndexGeometryValidation(t *testing.T) {
+	data := []byte(`{"a":1}`)
+	if _, err := NewMappedIndex(data, make([]uint64, idxStride-1), nil); err == nil {
+		t.Fatal("short rows accepted")
+	}
+	if _, err := NewMappedIndex(data, make([]uint64, 2*idxStride), nil); err == nil {
+		t.Fatal("long rows accepted")
+	}
+	if _, err := NewMappedIndex(data, make([]uint64, idxStride), nil); err != nil {
+		t.Fatalf("exact rows rejected: %v", err)
+	}
+}

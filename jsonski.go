@@ -126,6 +126,7 @@ func (s *Stats) merge(o Stats) {
 type runner interface {
 	Run(data []byte, emit core.EmitFunc) (core.Stats, error)
 	RunIndexed(ix *stream.Index, emit core.EmitFunc) (core.Stats, error)
+	RunIndexedWindow(ix *stream.Index, lo, hi int, emit core.EmitFunc) (core.Stats, error)
 	SetTrace(t *telemetry.Trace)
 }
 
@@ -212,6 +213,29 @@ func (q *Query) RunIndexedSink(ix *Index, sink Sink) (Stats, error) {
 	defer q.pool.Put(e)
 	sr := newSinkRun(sink)
 	st, err := e.RunIndexed(ix.ix, sr.bind(0, ix.Data()))
+	var out Stats
+	out.add(st)
+	return out, sr.finish(err)
+}
+
+// RunIndexedWindow evaluates the query over the [lo, hi) byte window of
+// an indexed buffer, treating the window as one complete JSON record.
+// The window borrows the whole-buffer masks — no per-record index build
+// or copy — which is how individual records of a serialized NDJSON
+// corpus (see LoadIndex, Catalog) are queried zero-copy: pass each
+// record's Span as the window. Match offsets are absolute positions in
+// the underlying buffer. The index must stay alive for the duration of
+// the call.
+func (q *Query) RunIndexedWindow(ix *Index, lo, hi int, fn func(Match)) (Stats, error) {
+	return q.RunIndexedWindowSink(ix, lo, hi, fnSink(fn))
+}
+
+// RunIndexedWindowSink is RunIndexedWindow delivering into a Sink.
+func (q *Query) RunIndexedWindowSink(ix *Index, lo, hi int, sink Sink) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	sr := newSinkRun(sink)
+	st, err := e.RunIndexedWindow(ix.ix, lo, hi, sr.bind(0, ix.Data()))
 	var out Stats
 	out.add(st)
 	return out, sr.finish(err)

@@ -22,6 +22,20 @@ base_file=${1:?usage: benchguard.sh BASE.txt HEAD.txt [MAX_PCT]}
 head_file=${2:?usage: benchguard.sh BASE.txt HEAD.txt [MAX_PCT]}
 max_pct=${3:-2}
 
+# BENCH_*.json files are jsonskibench trajectory snapshots (machine-
+# readable experiment reports, e.g. `jsonskibench -exp store -json
+# BENCH_6.json`), not `go test -bench` output; there is nothing in them
+# to guard, so passing one — e.g. from a glob over checked-in bench
+# artifacts — is a no-op, not an error.
+for f in "$base_file" "$head_file"; do
+    case "$(basename "$f")" in
+    BENCH_*.json)
+        echo "$(basename "$f") is a bench trajectory snapshot, not go-test bench output; nothing to guard"
+        exit 0
+        ;;
+    esac
+done
+
 # mean FILE BENCH — mean ns/op of BENCH's samples (optionally suffixed
 # -N by GOMAXPROCS), empty when the file has none.
 mean() {

@@ -6,12 +6,14 @@
 // The suite machine-enforces the invariants the engine's performance
 // and memory safety rest on but the compiler cannot see (DESIGN §5d):
 //
-//	poolpair   — pooled / refcounted resources reach a Release or Put
-//	spanretain — zero-copy spans are not retained without a copy
-//	chargesite — fast-forward movements charge a named Table 1 group
-//	atomicpair — server metric atomics are read only in snapshot(),
-//	             and every counter reaches both metric expositions
-//	tracenil   — trace hooks stay behind a nil check
+//	poolpair     — pooled / refcounted resources reach a Release or Put
+//	spanretain   — zero-copy spans are not retained without a copy
+//	chargesite   — fast-forward movements charge a named Table 1 group
+//	atomicpair   — server metric atomics are read only in snapshot(),
+//	               and every counter reaches both metric expositions
+//	tracenil     — trace hooks stay behind a nil check
+//	mapownership — bitmap rows of a possibly store-mapped Index are
+//	               never written through or handed to a sync.Pool
 //
 // Exit status is 1 when any analyzer reports a finding, 2 on failure
 // to load or type-check the target packages.
@@ -26,6 +28,7 @@ import (
 	"jsonski/tools/lint/analysis"
 	"jsonski/tools/lint/passes/atomicpair"
 	"jsonski/tools/lint/passes/chargesite"
+	"jsonski/tools/lint/passes/mapownership"
 	"jsonski/tools/lint/passes/poolpair"
 	"jsonski/tools/lint/passes/spanretain"
 	"jsonski/tools/lint/passes/tracenil"
@@ -37,6 +40,7 @@ var all = []*analysis.Analyzer{
 	chargesite.Analyzer,
 	atomicpair.Analyzer,
 	tracenil.Analyzer,
+	mapownership.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,232 @@
+// Package mapownership enforces the mapped-index ownership rules
+// (DESIGN §5e): a stream.Index may borrow its bitmap rows from a
+// read-only file mapping, so outside the package that defines Index the
+// rows returned by Rows() are a shared, possibly-mapped view — writing
+// through them is at best a data race on a shared cache entry and at
+// worst a SIGSEGV on a PROT_READ mapping, and handing them (or the
+// Index itself) to a sync.Pool would let a later Get mutate or free
+// storage the mapping still owns. Flagged, with alias tracking through
+// assignments and re-slices:
+//
+//   - element writes through a Rows() view: rows[i] = v, rows[i] |= v,
+//     rows[i]++, including the inline ix.Rows()[i] = v form
+//   - copy(rows, ...) with a Rows() view as the destination
+//   - sync.Pool.Put of a Rows() view or of an Index value
+//
+// An Index is any named type Index whose pointer method set has both
+// Rows and Mapped. The defining package itself is exempt: building the
+// masks in place and recycling unmapped rows is its job, and its
+// Release already routes mapped rows away from the pool. Copies out of
+// a view (dst := make(...); copy(dst, rows)) create caller-owned
+// buffers and stay silent.
+package mapownership
+
+import (
+	"go/ast"
+	"go/types"
+
+	"jsonski/tools/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapownership",
+	Doc:  "bitmap rows of a possibly store-mapped Index must not be written or pooled",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	set := rowsAliases(pass, fd)
+
+	// derived reports whether e is a view of some Index's rows: a direct
+	// x.Rows() call (possibly re-sliced) or an alias in set.
+	var derived func(e ast.Expr) bool
+	derived = func(e ast.Expr) bool {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isRowsCall(pass, x)
+		case *ast.SliceExpr:
+			return derived(x.X)
+		case *ast.IndexExpr:
+			return derived(x.X)
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			return obj != nil && set[obj]
+		}
+		return false
+	}
+	reportWrite := func(pos ast.Node) {
+		pass.Reportf(pos.Pos(), "write through bitmap rows of a possibly mapped Index; mapped masks are a shared read-only view — build into a private buffer instead")
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := analysis.Unparen(lhs).(*ast.IndexExpr); ok && derived(ix.X) {
+					reportWrite(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := analysis.Unparen(n.X).(*ast.IndexExpr); ok && derived(ix.X) {
+				reportWrite(n)
+			}
+		case *ast.CallExpr:
+			switch analysis.CalleeName(n) {
+			case "copy":
+				if isBuiltinCopy(pass, n) && len(n.Args) > 0 && derived(n.Args[0]) {
+					pass.Reportf(n.Pos(), "copy into bitmap rows of a possibly mapped Index; copy out of the view into a caller-owned buffer instead")
+				}
+			case "Put":
+				sel, ok := analysis.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok || !isSyncPool(pass.TypeOf(sel.X)) {
+					break
+				}
+				for _, arg := range n.Args {
+					if derived(arg) {
+						pass.Reportf(n.Pos(), "bitmap rows of a possibly mapped Index must never be pooled; only their defining package may recycle unmapped rows")
+					} else if isIndexType(pass, pass.TypeOf(arg)) {
+						pass.Reportf(n.Pos(), "a possibly mapped Index must never reach a sync.Pool; release it through its refcount instead")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rowsAliases computes the objects holding a Rows() view in fd: seeds
+// assigned directly from Rows() plus the closure over slice-typed
+// ident-to-ident assignments (v := rows, v2 := rows[a:b], ...).
+func rowsAliases(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	type edge struct{ from, to types.Object }
+	var edges []edge
+	set := map[types.Object]bool{}
+
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	addAssign := func(lhs, rhs ast.Expr) {
+		id, ok := analysis.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		lobj := objOf(id)
+		if lobj == nil {
+			return
+		}
+		if t := pass.TypeOf(rhs); t == nil {
+			return
+		} else if _, ok := types.Unalias(t).Underlying().(*types.Slice); !ok {
+			return // a copied element (w := rows[i]) is the caller's to mutate
+		}
+		if fromRowsCall(pass, rhs) {
+			set[lobj] = true
+			return
+		}
+		if r := analysis.RootIdent(rhs); r != nil {
+			if robj := objOf(r); robj != nil {
+				edges = append(edges, edge{from: robj, to: lobj})
+			}
+		}
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					addAssign(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					addAssign(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if set[e.from] && !set[e.to] {
+				set[e.to] = true
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+// fromRowsCall reports whether e is a Rows() call, possibly re-sliced.
+func fromRowsCall(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isRowsCall(pass, x)
+	case *ast.SliceExpr:
+		return fromRowsCall(pass, x.X)
+	}
+	return false
+}
+
+// isRowsCall reports whether call is recv.Rows() for an Index-like recv.
+func isRowsCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rows" {
+		return false
+	}
+	return isIndexType(pass, pass.TypeOf(sel.X))
+}
+
+// isIndexType reports whether t is a named Index with both Rows and
+// Mapped in its pointer method set, defined outside the package under
+// analysis (the defining package owns the rows and may write them).
+func isIndexType(pass *analysis.Pass, t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named == nil || named.Obj().Name() != "Index" {
+		return false
+	}
+	if named.Obj().Pkg() == pass.Pkg {
+		return false
+	}
+	return analysis.HasPtrMethod(named, "Rows") && analysis.HasPtrMethod(named, "Mapped")
+}
+
+func isSyncPool(t types.Type) bool {
+	n := analysis.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+// isBuiltinCopy distinguishes the builtin from a method named copy.
+func isBuiltinCopy(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,12 @@
+package mapownership_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/mapownership"
+)
+
+func TestMapownership(t *testing.T) {
+	analysistest.Run(t, "testdata", mapownership.Analyzer)
+}

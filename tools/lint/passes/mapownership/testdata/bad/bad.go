@@ -1,0 +1,43 @@
+package bad
+
+import (
+	"sync"
+
+	"fix/stream"
+)
+
+var pool sync.Pool
+
+func writeInline(ix *stream.Index) {
+	ix.Rows()[0] = 1 // want `write through bitmap rows`
+}
+
+func writeAlias(ix *stream.Index) {
+	rows := ix.Rows()
+	rows[3] |= 0x10 // want `write through bitmap rows`
+}
+
+func writeAliasOfAlias(ix *stream.Index) {
+	rows := ix.Rows()
+	tail := rows[9:]
+	window := tail
+	window[0]++ // want `write through bitmap rows`
+}
+
+func writeSlicedInline(ix *stream.Index) {
+	ix.Rows()[2:][0] = 7 // want `write through bitmap rows`
+}
+
+func copyInto(ix *stream.Index, src []uint64) {
+	rows := ix.Rows()
+	copy(rows, src) // want `copy into bitmap rows`
+}
+
+func poolRows(ix *stream.Index) {
+	rows := ix.Rows()
+	pool.Put(rows) // want `must never be pooled`
+}
+
+func poolIndex(ix *stream.Index) {
+	pool.Put(ix) // want `must never reach a sync.Pool`
+}

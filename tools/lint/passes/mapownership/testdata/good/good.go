@@ -1,0 +1,43 @@
+package good
+
+import (
+	"sync"
+
+	"fix/stream"
+)
+
+var pool sync.Pool
+
+// Reading the shared masks is the whole point of a mapped index.
+func read(ix *stream.Index) uint64 {
+	rows := ix.Rows()
+	return rows[0] | rows[len(rows)-1]
+}
+
+// A copied-out element is a caller-owned word.
+func copyWord(ix *stream.Index) uint64 {
+	w := ix.Rows()[0]
+	w |= 7
+	w++
+	return w
+}
+
+// Copying OUT of the view into a private buffer transfers nothing; the
+// private buffer may be mutated and pooled freely.
+func snapshot(ix *stream.Index) []uint64 {
+	dst := make([]uint64, len(ix.Rows()))
+	copy(dst, ix.Rows())
+	dst[0] = 0
+	return dst
+}
+
+func poolPrivate() {
+	buf := make([]uint64, 16)
+	buf[2] = 9
+	pool.Put(buf)
+}
+
+// Releasing through the refcount is the sanctioned lifetime path.
+func release(ix *stream.Index) {
+	ix.Release()
+}

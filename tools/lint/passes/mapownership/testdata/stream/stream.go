@@ -1,0 +1,26 @@
+// Package stream mimics the real stream.Index shape the analyzer keys
+// on: a named Index with Rows and Mapped pointer methods.
+package stream
+
+// Index holds bitmap rows that may be borrowed from a read-only file
+// mapping.
+type Index struct {
+	rows   []uint64
+	mapped bool
+}
+
+func New(words int) *Index { return &Index{rows: make([]uint64, words)} }
+
+func (ix *Index) Rows() []uint64 { return ix.rows }
+func (ix *Index) Mapped() bool   { return ix.mapped }
+func (ix *Index) Release()       {}
+
+// build writes through Rows() inside the defining package: exempt —
+// constructing the masks in place is this package's job.
+func (ix *Index) build() {
+	rows := ix.Rows()
+	for i := range rows {
+		rows[i] = 0
+	}
+	ix.Rows()[0] = 1
+}
