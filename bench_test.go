@@ -743,3 +743,37 @@ func BenchmarkRunLargeExplain(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunFilterSkip is the guarded hot path for RFC 9535 filters
+// under the skip-eligible probe plan: every embedded query is a
+// relative singular child chain, so candidates are probed by mini
+// child-chain DFA runs, never fully parsed. ~10% of WM items pass the
+// predicate (salePrice is uniform in [0,800)).
+func BenchmarkRunFilterSkip(b *testing.B) {
+	data := largeData(b, "wm")
+	cq := jsonski.MustCompile("$.it[?@.salePrice < 80].itemId")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.Count(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFilterFullParse is the same predicate and selectivity
+// forced onto the full-parse plan: the `@.stock.*` conjunct is always
+// true, but its wildcard disqualifies the chain-probe plan, so each
+// candidate span is DOM-parsed. The gap to BenchmarkRunFilterSkip is
+// what the planner buys (DESIGN §5f).
+func BenchmarkRunFilterFullParse(b *testing.B) {
+	data := largeData(b, "wm")
+	cq := jsonski.MustCompile("$.it[?@.salePrice < 80 && @.stock.*].itemId")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.Count(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig10, fig11, fig12, fig13, fig14, table4, table6, ablation, sharedindex, store, all")
+		exp     = flag.String("exp", "all", "experiment: fig10, fig11, fig12, fig13, fig14, table4, table6, ablation, sharedindex, store, filter, all")
 		size    = flag.String("size", "16MB", "dataset size (e.g. 64MB)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
@@ -73,9 +73,10 @@ func main() {
 		"ablation":    h.ablation,
 		"sharedindex": h.sharedindex,
 		"store":       func() { h.store(*jsonOut) },
+		"filter":      func() { h.filter(*jsonOut) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table4", "fig10", "fig11", "fig12", "fig13", "fig14", "table6", "ablation", "sharedindex", "store"} {
+		for _, name := range []string{"table4", "fig10", "fig11", "fig12", "fig13", "fig14", "table6", "ablation", "sharedindex", "store", "filter"} {
 			exps[name]()
 		}
 		return

@@ -85,3 +85,53 @@ func TestStoreExperiment(t *testing.T) {
 		t.Fatalf("summary: %+v", rep.Summary)
 	}
 }
+
+// TestFilterExperiment smoke-runs the filter-selectivity experiment at
+// a tiny size and checks the machine-readable report (the BENCH_7.json
+// trajectory) is well-formed: one row per selectivity point, both probe
+// plans agreeing on match counts (asserted inside the experiment), and
+// monotone matches as the threshold loosens.
+func TestFilterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer func(d time.Duration) { benchTime = d }(benchTime)
+	benchTime = time.Millisecond
+	out := filepath.Join(t.TempDir(), "BENCH_7.json")
+	h := &harness{size: 256 << 10, workers: 2, seed: 7}
+	h.filter(out)
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep filterReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "filter" || rep.Schema != 1 || rep.Dataset != "wm" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rep.Rows))
+	}
+	prev := int64(-1)
+	for _, r := range rep.Rows {
+		if r.SkipMBs <= 0 || r.FullMBs <= 0 || r.DomMBs <= 0 {
+			t.Fatalf("row thr=%d has zero throughput: %+v", r.Threshold, r)
+		}
+		if r.SkipFFRatio <= 0 {
+			t.Fatalf("row thr=%d has zero FF ratio: %+v", r.Threshold, r)
+		}
+		if r.Matches < prev {
+			t.Fatalf("matches not monotone in threshold: %+v", rep.Rows)
+		}
+		prev = r.Matches
+	}
+	if rep.Rows[0].Matches != 0 {
+		t.Fatalf("threshold 0 should match nothing: %+v", rep.Rows[0])
+	}
+	if rep.Rows[len(rep.Rows)-1].Matches == 0 {
+		t.Fatalf("threshold 800 should match every item: %+v", rep.Rows)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"jsonski/internal/baseline/index"
 	"jsonski/internal/baseline/tape"
 	"jsonski/internal/gen"
+	"jsonski/internal/jsonpath"
 	"jsonski/internal/queries"
 )
 
@@ -605,6 +607,235 @@ func TestJSONSkiOnGeneratedDatasetsMatchesDOM(t *testing.T) {
 		}
 		if n1 != n2 {
 			t.Errorf("%s: jsonski %d, dom %d", q.ID, n1, n2)
+		}
+	}
+}
+
+// ctsCase is one entry of testdata/rfc9535/cts.json (the shape of the
+// community JSONPath compliance suite, authored here from the RFC's
+// worked examples — see testdata/rfc9535/README.md).
+type ctsCase struct {
+	Name            string            `json:"name"`
+	Selector        string            `json:"selector"`
+	Document        json.RawMessage   `json:"document"`
+	Result          []json.RawMessage `json:"result"`
+	InvalidSelector bool              `json:"invalid_selector"`
+	Unordered       bool              `json:"unordered"`
+}
+
+// rfc9535Skips is the drift-detecting allowlist: cases named here are
+// expected to FAIL for the recorded reason. A case that starts passing
+// fails the suite until its entry is removed, so the allowlist can only
+// shrink.
+var rfc9535Skips = map[string]string{}
+
+// ctsEntryPoints adapts every public evaluation surface plus the
+// internal baselines to one signature. ordered reports whether the
+// entry point preserves document order.
+type ctsEntryPoint struct {
+	name    string
+	ordered bool
+	eval    func(q *jsonski.Query, sel string, data []byte) ([]string, error)
+}
+
+func ctsEntryPoints() []ctsEntryPoint {
+	collect := func(out *[]string) func(jsonski.Match) {
+		return func(m jsonski.Match) { *out = append(*out, string(m.Value)) }
+	}
+	return []ctsEntryPoint{
+		{"Run", true, func(q *jsonski.Query, _ string, data []byte) ([]string, error) {
+			var out []string
+			_, err := q.Run(data, collect(&out))
+			return out, err
+		}},
+		{"RunIndexed", true, func(q *jsonski.Query, _ string, data []byte) ([]string, error) {
+			ix := jsonski.BuildIndex(data)
+			defer ix.Release()
+			var out []string
+			_, err := q.RunIndexed(ix, collect(&out))
+			return out, err
+		}},
+		{"RunIndexedWindow", true, func(q *jsonski.Query, _ string, data []byte) ([]string, error) {
+			ix := jsonski.BuildIndex(data)
+			defer ix.Release()
+			var out []string
+			_, err := q.RunIndexedWindow(ix, 0, len(data), collect(&out))
+			return out, err
+		}},
+		{"All", true, func(q *jsonski.Query, _ string, data []byte) ([]string, error) {
+			vals, err := q.All(data)
+			out := make([]string, len(vals))
+			for i, v := range vals {
+				out[i] = string(v)
+			}
+			return out, err
+		}},
+		{"RunParallel", false, func(q *jsonski.Query, _ string, data []byte) ([]string, error) {
+			var mu sync.Mutex
+			var out []string
+			_, err := q.RunParallel(data, 3, func(m jsonski.Match) {
+				mu.Lock()
+				out = append(out, string(m.Value))
+				mu.Unlock()
+			})
+			return out, err
+		}},
+		{"QuerySet", true, func(_ *jsonski.Query, sel string, data []byte) ([]string, error) {
+			qs, err := jsonski.CompileSet(sel)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = qs.Run(data, func(m jsonski.SetMatch) { out = append(out, string(m.Value)) })
+			return out, err
+		}},
+		{"RunExplain", true, func(q *jsonski.Query, _ string, data []byte) ([]string, error) {
+			var out []string
+			_, err := q.RunExplain(data, 0, collect(&out))
+			return out, err
+		}},
+		{"baseline/domparser", true, func(_ *jsonski.Query, sel string, data []byte) ([]string, error) {
+			ev, err := domparser.Compile(sel)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+		{"baseline/tape", true, func(_ *jsonski.Query, sel string, data []byte) ([]string, error) {
+			ev, err := tape.Compile(sel)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+		{"baseline/index", true, func(_ *jsonski.Query, sel string, data []byte) ([]string, error) {
+			ev, err := index.Compile(sel)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+			return out, err
+		}},
+	}
+}
+
+// evalCTSCase runs one suite case through every entry point; the first
+// disagreement is returned as an error.
+func evalCTSCase(tc ctsCase) error {
+	if tc.InvalidSelector {
+		if _, err := jsonski.Compile(tc.Selector); err == nil {
+			return fmt.Errorf("Compile(%q) accepted an invalid selector", tc.Selector)
+		}
+		if _, err := charstream.Compile(tc.Selector); err == nil {
+			return fmt.Errorf("charstream.Compile(%q) accepted an invalid selector", tc.Selector)
+		}
+		return nil
+	}
+	q, err := jsonski.Compile(tc.Selector)
+	if err != nil {
+		return fmt.Errorf("Compile(%q): %v", tc.Selector, err)
+	}
+	want := make([]string, len(tc.Result))
+	for i, r := range tc.Result {
+		var x any
+		if err := json.Unmarshal(r, &x); err != nil {
+			return fmt.Errorf("bad expected result %d: %v", i, err)
+		}
+		enc, _ := json.Marshal(x)
+		want[i] = string(enc)
+	}
+	data := []byte(tc.Document)
+	p, err := jsonpath.Parse(tc.Selector)
+	if err != nil {
+		return err
+	}
+	eps := ctsEntryPoints()
+	// The character-level baseline streams through the automaton alone,
+	// so it joins only for fully DFA-streamable paths.
+	if !p.HasDescendant() && p.SplitPoint() < 0 {
+		eps = append(eps, ctsEntryPoint{"baseline/charstream", true,
+			func(_ *jsonski.Query, sel string, data []byte) ([]string, error) {
+				ev, err := charstream.Compile(sel)
+				if err != nil {
+					return nil, err
+				}
+				var out []string
+				_, err = ev.Run(data, func(s, e int) { out = append(out, string(data[s:e])) })
+				return out, err
+			}})
+	}
+	for _, ep := range eps {
+		got, err := ep.eval(q, tc.Selector, data)
+		if err != nil {
+			return fmt.Errorf("%s: %v", ep.name, err)
+		}
+		norm := make([]string, len(got))
+		for i, v := range got {
+			var x any
+			if err := json.Unmarshal([]byte(v), &x); err != nil {
+				return fmt.Errorf("%s emitted invalid JSON %q: %v", ep.name, v, err)
+			}
+			enc, _ := json.Marshal(x)
+			norm[i] = string(enc)
+		}
+		exp := append([]string(nil), want...)
+		if tc.Unordered || !ep.ordered {
+			sort.Strings(norm)
+			sort.Strings(exp)
+		}
+		if fmt.Sprint(norm) != fmt.Sprint(exp) {
+			return fmt.Errorf("%s:\n got  %v\n want %v", ep.name, norm, exp)
+		}
+	}
+	return nil
+}
+
+// TestRFC9535Compliance runs the vendored compliance suite through
+// every evaluation entry point. Failures outside the allowlist fail the
+// build; allowlisted cases that pass also fail the build (drift), so
+// coverage gaps cannot silently persist.
+func TestRFC9535Compliance(t *testing.T) {
+	raw, err := os.ReadFile("testdata/rfc9535/cts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suite struct {
+		Tests []ctsCase `json:"tests"`
+	}
+	if err := json.Unmarshal(raw, &suite); err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Tests) < 80 {
+		t.Fatalf("suite has only %d cases; expected the full vendored set", len(suite.Tests))
+	}
+	seen := map[string]bool{}
+	for _, tc := range suite.Tests {
+		tc := tc
+		if seen[tc.Name] {
+			t.Fatalf("duplicate case name %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		t.Run(tc.Name, func(t *testing.T) {
+			err := evalCTSCase(tc)
+			if reason, skip := rfc9535Skips[tc.Name]; skip {
+				if err == nil {
+					t.Fatalf("case passes but is allowlisted (%q); remove it from rfc9535Skips", reason)
+				}
+				t.Skipf("allowlisted: %s (%v)", reason, err)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	for name := range rfc9535Skips {
+		if !seen[name] {
+			t.Errorf("rfc9535Skips entry %q matches no case", name)
 		}
 	}
 }

@@ -161,3 +161,64 @@ func TestOrdinaryRunHasNoTrace(t *testing.T) {
 		t.Fatal("plain Run attached a latency snapshot")
 	}
 }
+
+// TestExplainFilterProbePlans pins the explain surface of the filter
+// planner: a skip-eligible predicate (relative singular child chains
+// only) shows FilterProbe(skip-eligible) events and G1/G4 charges from
+// its mini child-chain probes, while a predicate with an absolute
+// reference falls back to FilterProbe(full-parse). Both charge the
+// candidate capture to a fast-forward group, so the skip accounting
+// demonstrably covers filter traversal.
+func TestExplainFilterProbePlans(t *testing.T) {
+	doc := []byte(`{"items": [` +
+		`{"price": 5, "pad": {"a": [1, 2, 3], "b": "xxxxxxxxxxxxxxxx"}, "name": "cheap"},` +
+		`{"price": 50, "pad": {"a": [4, 5, 6], "b": "yyyyyyyyyyyyyyyy"}, "name": "dear"}` +
+		`], "max": 10}`)
+
+	q := jsonski.MustCompile("$.items[?@.price < 10]")
+	st, err := q.RunExplain(doc, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 1 {
+		t.Fatalf("matches = %d", st.Matches)
+	}
+	var probes, rejects int
+	for _, e := range st.Trace().Events {
+		if strings.HasPrefix(e.Func, "FilterProbe(skip-eligible)") {
+			probes++
+			if strings.HasSuffix(e.Func, "reject") {
+				rejects++
+			}
+			if e.Group != "G5" {
+				t.Fatalf("element candidate charged to %s, want G5: %+v", e.Group, e)
+			}
+		}
+	}
+	if probes != 2 || rejects != 1 {
+		t.Fatalf("probes = %d rejects = %d, want 2/1:\n%+v", probes, rejects, st.Trace().Events)
+	}
+	// The skip-eligible plan fast-forwards: candidate capture plus the
+	// mini-DFA probe charges must cover most of the input.
+	if r := st.FastForwardRatio(); r < 0.5 {
+		t.Fatalf("filter run fast-forward ratio = %.2f, want >= 0.5", r)
+	}
+
+	q2 := jsonski.MustCompile("$.items[?@.price < $.max]")
+	st2, err := q2.RunExplain(doc, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Matches != 1 {
+		t.Fatalf("abs-ref matches = %d", st2.Matches)
+	}
+	full := 0
+	for _, e := range st2.Trace().Events {
+		if strings.HasPrefix(e.Func, "FilterProbe(full-parse)") {
+			full++
+		}
+	}
+	if full != 2 {
+		t.Fatalf("full-parse probes = %d, want 2:\n%+v", full, st2.Trace().Events)
+	}
+}

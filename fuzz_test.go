@@ -90,10 +90,79 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzCompileJSONPath fuzzes the query space itself: Compile must never
+// panic, a successfully compiled expression must round-trip through
+// String(), and every compiled query must evaluate two fixed valid
+// documents without error and with the same match count as the DOM
+// reference evaluator.
+func FuzzCompileJSONPath(f *testing.F) {
+	for _, s := range []string{
+		"$",
+		"$.a.b",
+		"$[*].a",
+		"$[1:3]",
+		"$[::2]",
+		"$[5:1:-2]",
+		"$[-1]",
+		"$['a','b',1]",
+		"$[?@.a]",
+		"$[?@.price < 10]",
+		"$.a[?@.b == 'k'].c",
+		"$[?@.a > $.b]",
+		"$[?!(@.a == 1) && @.b || @.c != null]",
+		"$..name",
+		"$..[?@.x]",
+		"$..['a',0]",
+		"$.o[?@<3, ?@<3]",
+		"$[?@ == 1e2]",
+		"$[1:0:-]",
+		"$[?length(@) > 1]",
+		"$['unterminated",
+	} {
+		f.Add(s)
+	}
+	docs := [][]byte{
+		[]byte(`{"a": {"b": 1, "c": [1, 2, 3]}, "b": 2, "o": {"p": 1, "q": 4}, "name": "x", "price": 5}`),
+		[]byte(`[{"a": 1, "b": true, "price": 3}, {"a": 2, "c": null, "name": "y"}, [5, 6], "s", 7]`),
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := jsonski.Compile(expr) // must not panic
+		if err != nil {
+			return
+		}
+		src := q.String()
+		q2, err := jsonski.Compile(src)
+		if err != nil {
+			t.Fatalf("String() of compiled %q gave %q, which fails to compile: %v", expr, src, err)
+		}
+		if got := q2.String(); got != src {
+			t.Fatalf("round-trip of %q: String() %q re-compiles to %q", expr, src, got)
+		}
+		ref, err := domparser.Compile(expr)
+		if err != nil {
+			t.Fatalf("Compile accepted %q but the DOM reference rejected it: %v", expr, err)
+		}
+		for _, data := range docs {
+			n, err := q.Count(data)
+			if err != nil {
+				t.Fatalf("compiled %q errored on a valid document: %v", expr, err)
+			}
+			want, err := ref.Count(data)
+			if err != nil {
+				t.Fatalf("DOM reference %q errored on a valid document: %v", expr, err)
+			}
+			if n != want {
+				t.Fatalf("%q: engine found %d matches, DOM reference %d (doc %s)", expr, n, want, data)
+			}
+		}
+	})
+}
+
 // fuzzQueryPool are the shapes FuzzDifferential draws from — child
-// chains, indexes, slices, wildcards, and combinations, all supported
-// by the DOM baseline (no descendants: the baseline evaluator does not
-// implement them).
+// chains, indexes, slices (stepped, negative, backward), wildcards,
+// unions, and filters. All are supported by the DOM reference
+// evaluator; descendants are excluded because their emission order is
+// engine-specific (FuzzCompileJSONPath covers them by count).
 var fuzzQueryPool = []string{
 	"$",
 	"$.a",
@@ -105,6 +174,15 @@ var fuzzQueryPool = []string{
 	"$.a[*].b",
 	"$.*",
 	"$[*][0]",
+	"$[::2]",
+	"$[-1]",
+	"$[3:0:-1]",
+	"$['a','b',0]",
+	"$[?@.a]",
+	"$[?@.a == 1]",
+	"$.a[?@.b > 1].b",
+	"$[?@ < $.b]",
+	"$[?@.a && !@.b || @.c == null]",
 }
 
 // FuzzDifferential evaluates a pool query over fuzzed JSON three ways —
@@ -118,6 +196,11 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(append([]byte{1}, `{"a":"text with \"escapes\\\" and é","b":2}`...))
 	f.Add(append([]byte{4}, `[ 1 , [2,[3]] , {"a":[4]} , "5, not a sep" ]`...))
 	f.Add(append([]byte{2}, `{"a":{"a":{"a":1}},"b":{"a":{"b":5}}}`...))
+	f.Add(append([]byte{14}, `[{"a":1},{"b":2},{"a":{"c":3}}]`...))
+	f.Add(append([]byte{16}, `{"a":[{"b":0},{"b":2},{"b":9}]}`...))
+	f.Add(append([]byte{17}, `[1,5,2,{"x":1}]`...))
+	f.Add(append([]byte{12}, `[10,20,30,40]`...))
+	f.Add(append([]byte{13}, `{"a":1,"b":2,"c":3}`...))
 	f.Fuzz(func(t *testing.T, in []byte) {
 		if len(in) < 2 {
 			return

@@ -21,6 +21,10 @@ const (
 	Unmatched Status = iota // no progress possible below this value
 	Matched                 // progressed one step, more steps remain
 	Accept                  // all steps matched; the value is an output
+	// Candidate: the pending step is a filter selector. The value's span
+	// must be consumed and the predicate probed before the engine knows
+	// whether the successor state (Matched or Accept) applies.
+	Candidate
 )
 
 // String implements fmt.Stringer.
@@ -30,6 +34,8 @@ func (s Status) String() string {
 		return "matched"
 	case Accept:
 		return "accept"
+	case Candidate:
+		return "candidate"
 	default:
 		return "unmatched"
 	}
@@ -64,73 +70,97 @@ func (a *Automaton) statusFor(next int) Status {
 	return Matched
 }
 
-// IsObjectState reports whether state q consumes attribute names
-// (i.e. the pending step is a child step). When q is the accept state it
-// returns false.
+// IsObjectState reports whether state q can consume attribute names
+// (the pending step selects object members). When q is the accept state
+// it returns false.
 func (a *Automaton) IsObjectState(q int) bool {
 	if q >= len(a.steps) {
 		return false
 	}
-	k := a.steps[q].Kind
-	return k == jsonpath.Child || k == jsonpath.AnyChild
+	st := a.steps[q]
+	return st.SelectsMembers() || st.Kind == jsonpath.Descendant
 }
 
-// IsArrayState reports whether state q consumes array element indexes.
+// IsArrayState reports whether state q can consume array element indexes.
 func (a *Automaton) IsArrayState(q int) bool {
 	if q >= len(a.steps) {
 		return false
 	}
-	return a.steps[q].IsArrayStep()
+	st := a.steps[q]
+	return st.SelectsElements() || st.Kind == jsonpath.Descendant
 }
 
 // MatchKey applies the [Key] rule: in state q, consuming attribute name
 // `name` (raw bytes between the quotes, escapes unresolved). It returns
 // the successor state and the status. On Unmatched the successor state is
-// meaningless.
+// meaningless. A filter state returns Candidate: the member is selected
+// only if its value satisfies the predicate, which the engine resolves
+// after consuming the span.
 func (a *Automaton) MatchKey(q int, name []byte) (int, Status) {
 	if q >= len(a.steps) {
 		return q, Unmatched
 	}
 	st := a.steps[q]
 	switch st.Kind {
-	case jsonpath.AnyChild:
+	case jsonpath.Wildcard:
 		return q + 1, a.statusFor(q + 1)
 	case jsonpath.Child:
 		if KeyEqual(name, st.Name) {
 			return q + 1, a.statusFor(q + 1)
 		}
+	case jsonpath.Filter:
+		return q + 1, Candidate
 	}
 	return q, Unmatched
 }
 
 // MatchIndex applies the array rules: in state q, consuming the element
-// at index idx. It returns the successor state and status.
+// at index idx. It returns the successor state and status (Candidate for
+// filter states, as in MatchKey).
 func (a *Automaton) MatchIndex(q int, idx int) (int, Status) {
 	if q >= len(a.steps) {
 		return q, Unmatched
 	}
 	st := a.steps[q]
-	if !st.IsArrayStep() {
-		return q, Unmatched
-	}
-	if idx >= st.Lo && idx < st.Hi {
+	switch st.Kind {
+	case jsonpath.Wildcard:
 		return q + 1, a.statusFor(q + 1)
+	case jsonpath.Index, jsonpath.Slice:
+		if IndexMatches(st, idx) {
+			return q + 1, a.statusFor(q + 1)
+		}
+	case jsonpath.Filter:
+		return q + 1, Candidate
 	}
 	return q, Unmatched
 }
 
+// IndexMatches reports whether a streamable index/slice/wildcard step
+// selects element idx, honoring the slice stride.
+func IndexMatches(st jsonpath.Step, idx int) bool {
+	if idx < st.Lo || idx >= st.Hi {
+		return false
+	}
+	if st.Kind == jsonpath.Slice && st.Stride > 1 && (idx-st.Lo)%st.Stride != 0 {
+		return false
+	}
+	return true
+}
+
 // Range returns the element index range selected in state q and whether
-// the state is range-constrained at all (false for [*] and non-array
-// states).
+// the state is range-constrained at all (false for [*], filters, and
+// non-array states). Stride gaps inside the range are not represented
+// here; MatchIndex rejects them element-wise.
 func (a *Automaton) Range(q int) (lo, hi int, constrained bool) {
-	if q >= len(a.steps) || !a.steps[q].IsArrayStep() {
+	if q >= len(a.steps) {
 		return 0, 0, false
 	}
 	st := a.steps[q]
-	if st.Kind == jsonpath.Wildcard {
-		return 0, jsonpath.MaxIndex, false
+	switch st.Kind {
+	case jsonpath.Index, jsonpath.Slice:
+		return st.Lo, st.Hi, true
 	}
-	return st.Lo, st.Hi, true
+	return 0, jsonpath.MaxIndex, false
 }
 
 // TypeExpected returns the inferred type of the values that can make

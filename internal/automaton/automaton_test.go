@@ -105,8 +105,9 @@ func TestRange(t *testing.T) {
 
 func TestTypeExpected(t *testing.T) {
 	a := compile(t, "$.pd[*].cp[1:3].id")
-	// state 0 (.pd) expects array (next is [*])
-	if got := a.TypeExpected(0); got != jsonpath.Array {
+	// state 0 (.pd) expects a container: the RFC wildcard successor
+	// selects from objects and arrays alike, but never from a primitive.
+	if got := a.TypeExpected(0); got != jsonpath.Container {
 		t.Errorf("state 0 expects %v", got)
 	}
 	// state 1 ([*]) expects object (.cp)
@@ -132,8 +133,9 @@ func TestStateClassifiers(t *testing.T) {
 	if !a.IsObjectState(0) || a.IsArrayState(0) {
 		t.Error("state 0 should be an object state")
 	}
-	if !a.IsArrayState(1) || a.IsObjectState(1) {
-		t.Error("state 1 should be an array state")
+	// Wildcard states select members and elements alike (RFC 9535).
+	if !a.IsArrayState(1) || !a.IsObjectState(1) {
+		t.Error("state 1 should be both an object and an array state")
 	}
 	if a.IsObjectState(3) || a.IsArrayState(3) {
 		t.Error("accept state classifies as neither")
@@ -142,7 +144,8 @@ func TestStateClassifiers(t *testing.T) {
 
 func TestRootTypeAndStepCount(t *testing.T) {
 	a := compile(t, "$[*].text")
-	if a.RootType() != jsonpath.Array {
+	// A leading wildcard admits object and array roots alike.
+	if a.RootType() != jsonpath.Container {
 		t.Errorf("RootType = %v", a.RootType())
 	}
 	if a.StepCount() != 2 {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"jsonski/internal/automaton"
+	"jsonski/internal/baseline/domparser"
 	"jsonski/internal/jsonpath"
 )
 
@@ -41,6 +42,12 @@ type scanner struct {
 	aut   *automaton.Automaton
 	emit  func(start, end int)
 	count int64
+
+	// rootDoc caches the record DOM for absolute ($) references inside
+	// filter predicates. Filter candidates are decided by the reference
+	// evaluator over the consumed span — in character here, since this
+	// baseline examines every byte anyway.
+	rootDoc *domparser.Doc
 }
 
 // Run streams data, invoking emit (which may be nil) for each match, and
@@ -136,6 +143,13 @@ func (sc *scanner) object(q int, live bool) error {
 			q2, status = sc.aut.MatchKey(q, key)
 		}
 		start := sc.pos
+		if status == automaton.Candidate {
+			if err := sc.skipValue(); err != nil {
+				return err
+			}
+			sc.probeCandidate(q2, start, sc.pos)
+			continue
+		}
 		if err := sc.value(q2, status == automaton.Matched); err != nil {
 			return err
 		}
@@ -167,12 +181,60 @@ func (sc *scanner) array(q int, live bool) error {
 			q2, status = sc.aut.MatchIndex(q, idx)
 		}
 		start := sc.pos
+		if status == automaton.Candidate {
+			if err := sc.skipValue(); err != nil {
+				return err
+			}
+			sc.probeCandidate(q2, start, sc.pos)
+			continue
+		}
 		if err := sc.value(q2, status == automaton.Matched); err != nil {
 			return err
 		}
 		if status == automaton.Accept {
 			sc.match(start, sc.pos)
 		}
+	}
+}
+
+// probeCandidate decides a filter candidate: parse the consumed span,
+// test the predicate, and run any remaining steps over the same DOM.
+func (sc *scanner) probeCandidate(child, start, end int) {
+	doc, err := domparser.ParseDoc(sc.data[start:end])
+	if err != nil {
+		return // malformed candidate selects nothing
+	}
+	st := sc.aut.Step(child - 1)
+	suffix := make([]jsonpath.Step, 0, sc.aut.StepCount()-child)
+	needAbs := st.Filter.HasAbsolute()
+	for i := child; i < sc.aut.StepCount(); i++ {
+		s := sc.aut.Step(i)
+		suffix = append(suffix, s)
+		if s.Kind == jsonpath.Filter && s.Filter.HasAbsolute() {
+			needAbs = true
+		}
+	}
+	if needAbs {
+		sc.ensureRootDoc()
+		doc.Abs = sc.rootDoc
+	}
+	if !doc.Holds(st.Filter, doc.Root) {
+		return
+	}
+	if len(suffix) == 0 {
+		sc.match(start, end)
+		return
+	}
+	doc.EvalSpans(suffix, func(s2, e2 int) { sc.match(start+s2, start+e2) })
+}
+
+func (sc *scanner) ensureRootDoc() {
+	if sc.rootDoc == nil {
+		d, err := domparser.ParseDoc(sc.data)
+		if err != nil {
+			d = &domparser.Doc{} // absent root: absolute refs select nothing
+		}
+		sc.rootDoc = d
 	}
 }
 

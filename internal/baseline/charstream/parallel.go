@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"jsonski/internal/automaton"
 	"jsonski/internal/jsonpath"
 )
 
@@ -103,14 +104,24 @@ func (ev *Evaluator) ParallelRun(data []byte, workers int, emit func(start, end 
 	if workers <= 1 || nSteps == 0 {
 		return ev.Run(data, emit)
 	}
+	// Absolute ($) references in filter predicates resolve against the
+	// whole record, which sharded workers cannot see.
+	for i := 0; i < nSteps; i++ {
+		if st := ev.aut.Step(i); st.Kind == jsonpath.Filter && st.Filter.HasAbsolute() {
+			return ev.Run(data, emit)
+		}
+	}
 	// Resolve leading child steps serially.
 	sc := &scanner{data: data, aut: ev.aut}
 	sc.skipWS()
 	consumed := 0
-	for consumed < nSteps && !ev.aut.Step(consumed).IsArrayStep() {
+	for consumed < nSteps {
 		st := ev.aut.Step(consumed)
-		if st.Kind != jsonpath.Child {
-			// .* prefixes are rare and not worth speculating on.
+		if st.Kind == jsonpath.Index || st.Kind == jsonpath.Slice {
+			break // the array step to parallelize over
+		}
+		if st.Kind != jsonpath.Child || !st.Streamable() {
+			// Wildcard/filter/union prefixes are not worth speculating on.
 			return ev.Run(data, emit)
 		}
 		if sc.pos >= len(data) || data[sc.pos] != '{' {
@@ -138,6 +149,10 @@ func (ev *Evaluator) ParallelRun(data []byte, workers int, emit func(start, end 
 		return 1, nil
 	}
 	step := ev.aut.Step(consumed)
+	if !step.Streamable() {
+		// Backward/negative slices need the array length up front.
+		return ev.Run(data, emit)
+	}
 	if sc.pos >= len(data) || data[sc.pos] != '[' {
 		return 0, nil // array step over a non-array value
 	}
@@ -165,7 +180,7 @@ func (ev *Evaluator) ParallelRun(data []byte, workers int, emit func(start, end 
 				if i >= len(elems) {
 					return
 				}
-				if i < step.Lo || i >= step.Hi {
+				if !automaton.IndexMatches(step, i) {
 					continue
 				}
 				el := elems[i]

@@ -210,54 +210,21 @@ func Compile(expr string) (*Evaluator, error) {
 	return New(p), nil
 }
 
-// Run parses data into a DOM and traverses it, invoking emit (which may
-// be nil) per match; it returns the match count.
+// Run parses data into a DOM and traverses it with the reference
+// evaluator (refeval.go), invoking emit (which may be nil) per match;
+// it returns the match count.
 func (ev *Evaluator) Run(data []byte, emit func(start, end int)) (int64, error) {
-	root, err := Parse(data)
+	d, err := ParseDoc(data)
 	if err != nil {
 		return 0, err
 	}
 	var count int64
-	var walk func(n *Node, q int)
-	walk = func(n *Node, q int) {
-		if q == len(ev.steps) {
-			count++
-			if emit != nil {
-				emit(n.Span[0], n.Span[1])
-			}
-			return
+	d.Eval(ev.steps, func(n *Node) {
+		count++
+		if emit != nil {
+			emit(n.Span[0], n.Span[1])
 		}
-		st := ev.steps[q]
-		switch st.Kind {
-		case jsonpath.Child:
-			if n.Kind != KindObject {
-				return
-			}
-			for i, k := range n.Keys {
-				if string(k) == st.Name {
-					walk(n.Children[i], q+1)
-					return // keys are unique
-				}
-			}
-		case jsonpath.AnyChild:
-			if n.Kind != KindObject {
-				return
-			}
-			for _, c := range n.Children {
-				walk(c, q+1)
-			}
-		default:
-			if n.Kind != KindArray {
-				return
-			}
-			for i, c := range n.Children {
-				if i >= st.Lo && i < st.Hi {
-					walk(c, q+1)
-				}
-			}
-		}
-	}
-	walk(root, 0)
+	})
 	return count, nil
 }
 

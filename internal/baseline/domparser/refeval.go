@@ -1,0 +1,244 @@
+// The reference evaluator: full RFC 9535 semantics over the parsed DOM.
+// Besides serving the baseline Evaluator, this is the semantic oracle
+// the streaming engines defer to — the DFA's full-parse filter probes,
+// the segmented evaluator's non-streamable tails, and the compliance +
+// differential test harnesses all walk values through Doc.Eval/Holds,
+// so a selector means the same thing on every path through the system.
+//
+// Emission order is document order for name, index, slice, wildcard,
+// and filter selectors. Union segments emit per-selector in selector
+// order (RFC 9535 §2.5.1), backward slices emit in reverse index order
+// (§2.3.4.2.2), and descendant segments apply their selectors to each
+// visited node before recursing into its children in document order
+// (§2.5.2 leaves descendant ordering to the implementation). Harnesses
+// comparing engines across descendant or union queries should compare
+// sorted span sets.
+package domparser
+
+import (
+	"jsonski/internal/automaton"
+	"jsonski/internal/jsonpath"
+)
+
+// Doc pairs a parsed DOM with the buffer it was parsed from. Abs, when
+// non-nil, is the document that absolute ($) references inside filter
+// expressions resolve against — a Doc built for a candidate span inside
+// a larger record points Abs at the record's Doc; nil means this Doc is
+// the document root.
+type Doc struct {
+	Data []byte
+	Root *Node
+	Abs  *Doc
+}
+
+// ParseDoc parses a buffer into a Doc rooted at its single value.
+func ParseDoc(data []byte) (*Doc, error) {
+	root, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Doc{Data: data, Root: root}, nil
+}
+
+func (d *Doc) abs() *Doc {
+	if d.Abs != nil {
+		return d.Abs
+	}
+	return d
+}
+
+// Eval applies a step list to the document root, invoking emit for each
+// selected node.
+func (d *Doc) Eval(steps []jsonpath.Step, emit func(n *Node)) {
+	d.eval(d.Root, steps, emit)
+}
+
+// EvalSpans is Eval reporting byte spans instead of nodes.
+func (d *Doc) EvalSpans(steps []jsonpath.Step, emit func(start, end int)) {
+	d.eval(d.Root, steps, func(n *Node) { emit(n.Span[0], n.Span[1]) })
+}
+
+func (d *Doc) eval(n *Node, steps []jsonpath.Step, emit func(*Node)) {
+	if n == nil {
+		return // absent document root (absolute reference with no record)
+	}
+	if len(steps) == 0 {
+		emit(n)
+		return
+	}
+	d.evalStep(n, steps[0], steps[1:], emit)
+}
+
+// evalStep applies one selector to node n, continuing with rest on each
+// selected child.
+func (d *Doc) evalStep(n *Node, st jsonpath.Step, rest []jsonpath.Step, emit func(*Node)) {
+	switch st.Kind {
+	case jsonpath.Child:
+		if n.Kind != KindObject {
+			return
+		}
+		for i, k := range n.Keys {
+			if automaton.KeyEqual(k, st.Name) {
+				d.eval(n.Children[i], rest, emit)
+				return // attribute names are unique
+			}
+		}
+	case jsonpath.Index:
+		if n.Kind != KindArray {
+			return
+		}
+		idx := st.Lo
+		if idx < 0 {
+			idx += len(n.Children)
+		}
+		if idx >= 0 && idx < len(n.Children) {
+			d.eval(n.Children[idx], rest, emit)
+		}
+	case jsonpath.Slice:
+		if n.Kind != KindArray {
+			return
+		}
+		lo, hi, stride := st.SliceBounds(len(n.Children))
+		if stride > 0 {
+			for i := lo; i < hi; i += stride {
+				d.eval(n.Children[i], rest, emit)
+			}
+		} else {
+			for i := lo; i > hi; i += stride {
+				d.eval(n.Children[i], rest, emit)
+			}
+		}
+	case jsonpath.Wildcard:
+		if n.Kind != KindObject && n.Kind != KindArray {
+			return
+		}
+		for _, c := range n.Children {
+			d.eval(c, rest, emit)
+		}
+	case jsonpath.Filter:
+		if n.Kind != KindObject && n.Kind != KindArray {
+			return
+		}
+		for _, c := range n.Children {
+			if d.Holds(st.Filter, c) {
+				d.eval(c, rest, emit)
+			}
+		}
+	case jsonpath.Union:
+		for _, sel := range st.Sel {
+			d.evalStep(n, sel, rest, emit)
+		}
+	case jsonpath.Descendant:
+		d.descend(n, st, rest, emit)
+	}
+}
+
+// descend applies a descendant segment: its selectors run against every
+// node of the subtree rooted at n, pre-order, children in document
+// order.
+func (d *Doc) descend(n *Node, st jsonpath.Step, rest []jsonpath.Step, emit func(*Node)) {
+	for _, sel := range st.Sel {
+		d.evalStep(n, sel, rest, emit)
+	}
+	for _, c := range n.Children {
+		if c.Kind == KindObject || c.Kind == KindArray {
+			d.descend(c, st, rest, emit)
+		}
+	}
+}
+
+// Holds evaluates a filter expression with candidate node n (RFC 9535
+// §2.3.5.2): existence tests are true iff the embedded query selects at
+// least one node, comparisons resolve singular queries to values or
+// Nothing and apply jsonpath.Compare.
+func (d *Doc) Holds(f *jsonpath.FilterExpr, n *Node) bool {
+	switch f.Op {
+	case jsonpath.FilterOr:
+		for _, k := range f.Kids {
+			if d.Holds(k, n) {
+				return true
+			}
+		}
+		return false
+	case jsonpath.FilterAnd:
+		for _, k := range f.Kids {
+			if !d.Holds(k, n) {
+				return false
+			}
+		}
+		return true
+	case jsonpath.FilterNot:
+		return !d.Holds(f.Kids[0], n)
+	case jsonpath.FilterCompare:
+		return jsonpath.Compare(f.Cmp, d.operand(f.Left, n), d.operand(f.Right, n))
+	default: // FilterExists
+		return d.exists(f.Query, n)
+	}
+}
+
+// queryBase resolves which document and start node an embedded query
+// walks from: the candidate for `@`, the document root for `$`.
+func (d *Doc) queryBase(q *jsonpath.SubQuery, n *Node) (*Doc, *Node) {
+	if q.Absolute {
+		ad := d.abs()
+		return ad, ad.Root
+	}
+	return d, n
+}
+
+func (d *Doc) exists(q *jsonpath.SubQuery, n *Node) bool {
+	base, start := d.queryBase(q, n)
+	found := false
+	base.eval(start, q.Path.Steps, func(*Node) { found = true })
+	return found
+}
+
+func (d *Doc) operand(o jsonpath.Operand, n *Node) jsonpath.CmpVal {
+	if o.IsLiteral {
+		return jsonpath.LitVal(o.Lit)
+	}
+	return d.singular(o.Query, n)
+}
+
+// singular resolves a singular query (child/index steps only) to the
+// selected value, or Nothing when any step fails to select.
+func (d *Doc) singular(q *jsonpath.SubQuery, n *Node) jsonpath.CmpVal {
+	base, cur := d.queryBase(q, n)
+	if cur == nil {
+		return jsonpath.CmpVal{Missing: true}
+	}
+	for _, st := range q.Path.Steps {
+		switch st.Kind {
+		case jsonpath.Child:
+			if cur.Kind != KindObject {
+				return jsonpath.CmpVal{Missing: true}
+			}
+			next := (*Node)(nil)
+			for i, k := range cur.Keys {
+				if automaton.KeyEqual(k, st.Name) {
+					next = cur.Children[i]
+					break
+				}
+			}
+			if next == nil {
+				return jsonpath.CmpVal{Missing: true}
+			}
+			cur = next
+		case jsonpath.Index:
+			if cur.Kind != KindArray {
+				return jsonpath.CmpVal{Missing: true}
+			}
+			idx := st.Lo
+			if idx < 0 {
+				idx += len(cur.Children)
+			}
+			if idx < 0 || idx >= len(cur.Children) {
+				return jsonpath.CmpVal{Missing: true}
+			}
+			cur = cur.Children[idx]
+		default:
+			return jsonpath.CmpVal{Missing: true}
+		}
+	}
+	return jsonpath.DecodeValue(base.Data[cur.Span[0]:cur.Span[1]])
+}

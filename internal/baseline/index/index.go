@@ -15,6 +15,8 @@ package index
 import (
 	"fmt"
 
+	"jsonski/internal/automaton"
+	"jsonski/internal/baseline/domparser"
 	"jsonski/internal/bits"
 	"jsonski/internal/jsonpath"
 )
@@ -203,7 +205,35 @@ func (ev *Evaluator) RunIndex(ix *Index, emit func(start, end int)) (int64, erro
 		}
 		return count, nil
 	}
+	// Filters, unions, descendants, and backward slices are outside what
+	// the leveled bitmaps model; such tails are deferred to the reference
+	// evaluator over the (already index-delimited) value span.
+	var rootDoc *domparser.Doc
 	var walk func(vs, ve, level, q int)
+	refEval := func(vs, ve, q int) {
+		end := trimEnd(data, vs, ve)
+		d, err := domparser.ParseDoc(data[vs:end])
+		if err != nil {
+			return
+		}
+		steps := ev.steps[q:]
+		if jsonpath.StepsHaveAbsolute(steps) {
+			if rootDoc == nil {
+				rd, err := domparser.ParseDoc(data[s:e])
+				if err != nil {
+					rd = &domparser.Doc{}
+				}
+				rootDoc = rd
+			}
+			d.Abs = rootDoc
+		}
+		d.EvalSpans(steps, func(s2, e2 int) {
+			count++
+			if emit != nil {
+				emit(vs+s2, vs+e2)
+			}
+		})
+	}
 	walk = func(vs, ve, level, q int) {
 		vs = skipWS(data, vs)
 		if vs >= ve {
@@ -219,16 +249,32 @@ func (ev *Evaluator) RunIndex(ix *Index, emit func(start, end int)) (int64, erro
 		st := ev.steps[q]
 		close := trimEnd(data, vs, ve) - 1 // position of '}' / ']'
 		switch st.Kind {
-		case jsonpath.Child, jsonpath.AnyChild:
+		case jsonpath.Child:
 			if data[vs] != '{' || level >= ix.levels {
 				return
 			}
 			ev.object(ix, vs, close, level, st, walk, q)
-		default:
+		case jsonpath.Index, jsonpath.Slice:
+			if !st.Streamable() {
+				refEval(vs, ve, q)
+				return
+			}
 			if data[vs] != '[' || level >= ix.levels {
 				return
 			}
 			ev.array(ix, vs, close, level, st, walk, q)
+		case jsonpath.Wildcard:
+			if level >= ix.levels {
+				return
+			}
+			switch data[vs] {
+			case '{':
+				ev.object(ix, vs, close, level, st, walk, q)
+			case '[':
+				ev.array(ix, vs, close, level, st, walk, q)
+			}
+		default: // Filter, Union, Descendant
+			refEval(vs, ve, q)
 		}
 	}
 	walk(s, e, 0, 0)
@@ -268,7 +314,8 @@ func (ev *Evaluator) object(ix *Index, vs, close, level int, st jsonpath.Step, w
 			}
 		}
 		key := keyBefore(data, colon)
-		matchedPrev = st.Kind == jsonpath.AnyChild || (key != nil && string(key) == st.Name)
+		matchedPrev = st.Kind == jsonpath.Wildcard ||
+			(key != nil && automaton.KeyEqual(key, st.Name))
 		prevColon = colon
 		return true
 	})
@@ -280,17 +327,19 @@ func (ev *Evaluator) object(ix *Index, vs, close, level int, st jsonpath.Step, w
 // array walks the commas of the array opening at vs and closing at
 // `close` (the ']' position) at nesting level `level`.
 func (ev *Evaluator) array(ix *Index, vs, close, level int, st jsonpath.Step, walk func(int, int, int, int), q int) {
+	wild := st.Kind == jsonpath.Wildcard
+	selects := func(i int) bool { return wild || automaton.IndexMatches(st, i) }
 	idx := 0
 	prev := vs + 1
 	bitsInRange(ix.commas[level], vs+1, close, func(comma int) bool {
-		if idx >= st.Lo && idx < st.Hi {
+		if selects(idx) {
 			walk(prev, comma, level+1, q+1)
 		}
 		idx++
 		prev = comma + 1
-		return idx < st.Hi // past the range: stop scanning
+		return wild || idx < st.Hi // past the range: stop scanning
 	})
-	if idx >= st.Lo && idx < st.Hi {
+	if selects(idx) {
 		// Final element (no trailing comma), if non-empty.
 		s2 := skipWS(ix.data, prev)
 		if s2 < close {

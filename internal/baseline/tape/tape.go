@@ -17,6 +17,8 @@ package tape
 import (
 	"fmt"
 
+	"jsonski/internal/automaton"
+	"jsonski/internal/baseline/domparser"
 	"jsonski/internal/bits"
 	"jsonski/internal/jsonpath"
 )
@@ -282,7 +284,36 @@ func (ev *Evaluator) RunTape(t *Tape, emit func(start, end int)) (int64, error) 
 		return 0, nil
 	}
 	var count int64
+	var rootDoc *domparser.Doc
 	var walk func(n int32, q int)
+	// Filters, unions, and descendants are not tape-native traversals;
+	// such tails re-parse the (tape-delimited) value span through the
+	// reference evaluator.
+	refEval := func(node *Node, q int) {
+		vs, ve := int(node.ValStart), int(node.ValEnd)
+		d, err := domparser.ParseDoc(t.data[vs:ve])
+		if err != nil {
+			return
+		}
+		steps := ev.steps[q:]
+		if jsonpath.StepsHaveAbsolute(steps) {
+			if rootDoc == nil {
+				root := &t.Nodes[0]
+				rd, err := domparser.ParseDoc(t.data[root.ValStart:root.ValEnd])
+				if err != nil {
+					rd = &domparser.Doc{}
+				}
+				rootDoc = rd
+			}
+			d.Abs = rootDoc
+		}
+		d.EvalSpans(steps, func(s2, e2 int) {
+			count++
+			if emit != nil {
+				emit(vs+s2, vs+e2)
+			}
+		})
+	}
 	walk = func(n int32, q int) {
 		node := &t.Nodes[n]
 		if q == len(ev.steps) {
@@ -300,32 +331,48 @@ func (ev *Evaluator) RunTape(t *Tape, emit func(start, end int)) (int64, error) 
 			}
 			for c := n + 1; c < node.Next; c = t.Nodes[c].Next {
 				k := t.Nodes[c]
-				if k.KeyStart >= 0 && string(t.data[k.KeyStart:k.KeyEnd]) == st.Name {
+				if k.KeyStart >= 0 && automaton.KeyEqual(t.data[k.KeyStart:k.KeyEnd], st.Name) {
 					walk(c, q+1)
 					return // keys are unique
 				}
 			}
-		case jsonpath.AnyChild:
-			if node.Kind != KindObject {
+		case jsonpath.Wildcard:
+			if node.Kind != KindObject && node.Kind != KindArray {
 				return
 			}
 			for c := n + 1; c < node.Next; c = t.Nodes[c].Next {
 				walk(c, q+1)
 			}
-		default:
+		case jsonpath.Index, jsonpath.Slice:
 			if node.Kind != KindArray {
 				return
 			}
-			i := 0
+			var kids []int32
 			for c := n + 1; c < node.Next; c = t.Nodes[c].Next {
-				if i >= st.Hi {
-					break
-				}
-				if i >= st.Lo {
-					walk(c, q+1)
-				}
-				i++
+				kids = append(kids, c)
 			}
+			if st.Kind == jsonpath.Index {
+				idx := st.Lo
+				if idx < 0 {
+					idx += len(kids)
+				}
+				if idx >= 0 && idx < len(kids) {
+					walk(kids[idx], q+1)
+				}
+				return
+			}
+			lo, hi, stride := st.SliceBounds(len(kids))
+			if stride > 0 {
+				for i := lo; i < hi; i += stride {
+					walk(kids[i], q+1)
+				}
+			} else {
+				for i := lo; i > hi; i += stride {
+					walk(kids[i], q+1)
+				}
+			}
+		default: // Filter, Union, Descendant
+			refEval(node, q)
 		}
 	}
 	walk(0, 0)

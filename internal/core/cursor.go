@@ -23,6 +23,12 @@ type cursor struct {
 	matches int64
 	depth   int
 
+	// rootStart/rootEnd delimit the record under evaluation within
+	// s.Data() — the whole buffer for plain runs, the window for
+	// RunIndexedWindow. Filter probes resolve absolute ($) references
+	// against this span.
+	rootStart, rootEnd int
+
 	// trace, when non-nil, receives one event per fast-forward movement
 	// plus the policy's state at each descent (explain mode). The
 	// disabled path is a nil check per object/array frame.
@@ -47,6 +53,7 @@ func (c *cursor) prepare(data []byte) {
 		c.s.Reset(data)
 		c.ff.Reset(c.s)
 	}
+	c.rootStart, c.rootEnd = 0, len(data)
 	c.ff.Trace = c.trace
 }
 
@@ -61,6 +68,7 @@ func (c *cursor) prepareIndexed(ix *stream.Index) {
 		c.s.ResetIndexed(ix)
 		c.ff.Reset(c.s)
 	}
+	c.rootStart, c.rootEnd = 0, ix.Len()
 	c.ff.Trace = c.trace
 }
 
@@ -75,6 +83,7 @@ func (c *cursor) prepareWindow(ix *stream.Index, lo, hi int) {
 		c.s.ResetIndexedWindow(ix, lo, hi)
 		c.ff.Reset(c.s)
 	}
+	c.rootStart, c.rootEnd = lo, hi
 	c.ff.Trace = c.trace
 }
 

@@ -32,6 +32,12 @@ const (
 	// afterwards (an NFA/multi state set can accept and continue at
 	// once; a DFA never does).
 	actDescendOutput
+	// actProbe: the pending step is a filter selector — the value is a
+	// candidate. The driver fast-forwards over it exactly like actSkip
+	// (same group charge: the movement is the same), then hands the
+	// consumed span to the policy's resolveProbe, which decides the
+	// predicate and emits or re-descends as needed.
+	actProbe
 )
 
 // maxDepth bounds driver recursion. The DFA engine's depth is already
@@ -63,6 +69,12 @@ type stepper[S, F, A any] interface {
 	matchIndex(frame F, idx int) (child S, acc A, act action)
 	// emitMatch reports one match span for the queries recorded in acc.
 	emitMatch(acc A, start, end int)
+	// resolveProbe decides an actProbe candidate after the driver has
+	// consumed its span [start, end): child is the state matchKey/
+	// matchIndex returned, vt the candidate's type, g the group the
+	// consuming movement was charged to. Policies without filter support
+	// return an error (the planner never routes filter steps to them).
+	resolveProbe(child S, vt jsonpath.ValueType, start, end int, g fastforward.Group) error
 	// stateID renders the frame for explain-trace events.
 	stateID(frame F) int
 }
@@ -98,6 +110,12 @@ func driveMember[S, F, A any](c *cursor, p stepper[S, F, A], vt jsonpath.ValueTy
 	switch act {
 	case actSkip:
 		return c.skipValue(vt, skipGroup, inArray)
+	case actProbe:
+		start := c.s.Pos()
+		if err := c.skipValue(vt, skipGroup, inArray); err != nil {
+			return err
+		}
+		return p.resolveProbe(child, vt, start, trimWSEnd(c.s.Data(), start, c.s.Pos()), skipGroup)
 	case actOutput:
 		sp, err := c.outputValue(vt, inArray)
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"jsonski/internal/automaton"
+	"jsonski/internal/baseline/domparser"
 	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
@@ -59,6 +60,17 @@ type Engine struct {
 	cursor
 	aut *automaton.Automaton
 
+	// filters holds the per-step probe runtimes when the query has
+	// filter selectors (filter.go); nil otherwise — classic queries pay
+	// nothing.
+	filters []*filterRuntime
+
+	// rootDoc caches the record's DOM within one run (absolute filter
+	// references); absDoc, when set, overrides it — suffix engines
+	// inherit the parent record's document.
+	rootDoc *domparser.Doc
+	absDoc  *domparser.Doc
+
 	// DisableFastForward switches the engine to plain recursive-descent
 	// streaming (paper Algorithm 1): every token is parsed and fed to the
 	// automaton. Used by the ablation benchmarks.
@@ -86,7 +98,7 @@ func (e *Engine) groupOn(g int) bool {
 
 // NewEngine creates an engine for the automaton.
 func NewEngine(a *automaton.Automaton) *Engine {
-	return &Engine{aut: a}
+	return &Engine{aut: a, filters: buildFilterRuntimes(a)}
 }
 
 // Run evaluates the query over a single JSON record, invoking emit for
@@ -116,6 +128,7 @@ func (e *Engine) RunIndexedWindow(ix *stream.Index, lo, hi int, emit EmitFunc) (
 // statistics.
 func (e *Engine) finish(emit EmitFunc, inputBytes int64) (Stats, error) {
 	e.begin(emit)
+	e.rootDoc = nil
 	err := e.run()
 	return e.stats(inputBytes), err
 }
@@ -198,10 +211,15 @@ func (e *Engine) matchKey(q int, name []byte) (child int, acc none, act action, 
 		return 0, acc, actSkip, false
 	case automaton.Accept:
 		act = actOutput
+	case automaton.Candidate:
+		// Filter state: consume the span, then decide (filter.go).
+		return q2, acc, actProbe, false
 	default: // Matched: descend into the value
 		child, act = q2, actDescend
 	}
-	done = e.groupOn(4) && e.aut.Step(q).Kind != jsonpath.AnyChild
+	// G4 applies only to named child steps: wildcard and filter states
+	// can match any number of further attributes.
+	done = e.groupOn(4) && e.aut.Step(q).Kind == jsonpath.Child
 	return child, acc, act, done
 }
 
@@ -213,6 +231,8 @@ func (e *Engine) matchIndex(q, idx int) (child int, acc none, act action) {
 		return 0, acc, actSkip
 	case automaton.Accept:
 		return 0, acc, actOutput
+	case automaton.Candidate:
+		return q2, acc, actProbe
 	default:
 		return q2, acc, actDescend
 	}

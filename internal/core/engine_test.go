@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -311,17 +312,30 @@ func oracleEval(t *testing.T, steps []jsonpath.Step, doc any) []string {
 					walk(c, q+1)
 				}
 			}
-		case jsonpath.AnyChild:
-			// map iteration order is random; handled by sorting later
+		case jsonpath.Wildcard:
+			// RFC 9535 wildcard: selects members and elements alike.
+			// The input document comes from json.Marshal of a map, so
+			// document order is sorted-key order; iterate to match it.
 			if m, ok := v.(map[string]any); ok {
-				for _, c := range m {
+				keys := make([]string, 0, len(m))
+				for k := range m {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					walk(m[k], q+1)
+				}
+			}
+			if a, ok := v.([]any); ok {
+				for _, c := range a {
 					walk(c, q+1)
 				}
 			}
 		default:
 			if a, ok := v.([]any); ok {
 				for i, c := range a {
-					if i >= st.Lo && i < st.Hi {
+					if i >= st.Lo && i < st.Hi &&
+						!(st.Kind == jsonpath.Slice && st.Stride > 1 && (i-st.Lo)%st.Stride != 0) {
 						walk(c, q+1)
 					}
 				}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"jsonski/internal/automaton"
+	"jsonski/internal/fastforward"
+	"jsonski/internal/jsonpath"
 )
 
 // This file implements plain recursive-descent streaming (paper
@@ -65,8 +67,20 @@ func (e *Engine) fullObject(q int) error {
 		if status == automaton.Unmatched {
 			q2 = e.deadState()
 		}
-		accept := status == automaton.Accept
 		start := s.Pos()
+		if status == automaton.Candidate {
+			// Parse the candidate in detail (no fast-forwarding in this
+			// ablation), then decide the predicate like the normal path.
+			if err := e.fullValue(vb, e.deadState()); err != nil {
+				return err
+			}
+			end := trimWSEnd(s.Data(), start, s.Pos())
+			if err := e.resolveProbe(q2, jsonpath.TypeOfByte(vb), start, end, fastforward.G2); err != nil {
+				return err
+			}
+			continue
+		}
+		accept := status == automaton.Accept
 		if err := e.fullValue(vb, q2); err != nil {
 			return err
 		}
@@ -99,8 +113,18 @@ func (e *Engine) fullArray(q int) error {
 		if status == automaton.Unmatched {
 			q2 = e.deadState()
 		}
-		accept := status == automaton.Accept
 		start := s.Pos()
+		if status == automaton.Candidate {
+			if err := e.fullValue(b, e.deadState()); err != nil {
+				return err
+			}
+			end := trimWSEnd(s.Data(), start, s.Pos())
+			if err := e.resolveProbe(q2, jsonpath.TypeOfByte(b), start, end, fastforward.G5); err != nil {
+				return err
+			}
+			continue
+		}
+		accept := status == automaton.Accept
 		if err := e.fullValue(b, q2); err != nil {
 			return err
 		}

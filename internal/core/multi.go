@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jsonski/internal/automaton"
+	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
 )
@@ -174,7 +175,9 @@ func (e *MultiEngine) enterObject(st states) (*multiFrame, jsonpath.ValueType, b
 		}
 		f.live[i] = q
 		nLive++
-		if e.auts[i].Step(int(q)).Kind == jsonpath.AnyChild {
+		if e.auts[i].Step(int(q)).Kind != jsonpath.Child {
+			// Wildcard (or any non-unique-key) steps can match more than
+			// one attribute, so G4 stays off for this object.
 			f.anyWildcard = true
 		}
 	}
@@ -237,7 +240,8 @@ func (e *MultiEngine) matchKey(f *multiFrame, name []byte) (child states, accept
 		default:
 			continue
 		}
-		if e.auts[i].Step(int(q)).Kind != jsonpath.AnyChild {
+		if e.auts[i].Step(int(q)).Kind == jsonpath.Child {
+			// Named attributes are unique; wildcard states stay live.
 			f.live[i] = deadState
 			f.remaining--
 		}
@@ -273,6 +277,13 @@ func (e *MultiEngine) emitMatch(accepts []int, start, end int) {
 	for _, i := range accepts {
 		e.emitQuery(i, start, end)
 	}
+}
+
+// resolveProbe is unreachable: CompileSet routes filter queries to
+// per-query engines, so no automaton here ever reports Candidate (the
+// match loops above treat one as no progress).
+func (e *MultiEngine) resolveProbe(states, jsonpath.ValueType, int, int, fastforward.Group) error {
+	return fmt.Errorf("core: multi-query policy has no filter probes")
 }
 
 // stateID renders the number of live queries into trace events; a

@@ -5,6 +5,7 @@ import (
 
 	"jsonski/internal/automaton"
 	"jsonski/internal/bits"
+	"jsonski/internal/fastforward"
 	"jsonski/internal/jsonpath"
 	"jsonski/internal/stream"
 )
@@ -30,10 +31,18 @@ type NFAEngine struct {
 }
 
 // NewNFAEngine creates an NFA engine for the path. Paths are limited to
-// 62 steps (the state set is a uint64 bitmask).
+// 62 steps (the state set is a uint64 bitmask), and every step must be
+// streamable and filter-free: filter probes are a DFA-policy feature,
+// so Compile splits mixed descendant+filter paths instead of routing
+// them here (jsonpath.Path.SplitPoint).
 func NewNFAEngine(p *jsonpath.Path) (*NFAEngine, error) {
 	if len(p.Steps) > 62 {
 		return nil, fmt.Errorf("core: path too long for NFA evaluation (%d steps)", len(p.Steps))
+	}
+	for i, st := range p.Steps {
+		if !st.Streamable() || st.Kind == jsonpath.Filter {
+			return nil, fmt.Errorf("core: step %d (%s) is not NFA-evaluable", i, st.Kind)
+		}
 	}
 	return &NFAEngine{steps: p.Steps}, nil
 }
@@ -122,11 +131,16 @@ func (e *NFAEngine) nextSetKey(set stateSet, key []byte) stateSet {
 			if automaton.KeyEqual(key, st.Name) {
 				out |= 1 << uint(q+1)
 			}
-		case jsonpath.AnyChild:
-			out |= 1 << uint(q+1)
+		case jsonpath.Wildcard:
+			out |= 1 << uint(q+1) // `*` selects members and elements alike
 		case jsonpath.Descendant:
 			out |= 1 << uint(q) // a descendant survives any descent
-			if st.Name == "" || automaton.KeyEqual(key, st.Name) {
+			switch sel := st.Sel[0]; sel.Kind {
+			case jsonpath.Child:
+				if automaton.KeyEqual(key, sel.Name) {
+					out |= 1 << uint(q+1)
+				}
+			case jsonpath.Wildcard:
 				out |= 1 << uint(q+1)
 			}
 		}
@@ -143,16 +157,18 @@ func (e *NFAEngine) nextSetIndex(set stateSet, idx int) stateSet {
 			continue
 		}
 		st := e.steps[q]
-		switch {
-		case st.IsArrayStep():
-			if idx >= st.Lo && idx < st.Hi {
+		switch st.Kind {
+		case jsonpath.Index, jsonpath.Slice, jsonpath.Wildcard:
+			if automaton.IndexMatches(st, idx) {
 				out |= 1 << uint(q+1)
 			}
-		case st.Kind == jsonpath.Descendant:
+		case jsonpath.Descendant:
 			out |= 1 << uint(q)
-			if st.Name == "" {
-				// `..*` also selects every array element.
-				out |= 1 << uint(q+1)
+			switch sel := st.Sel[0]; sel.Kind {
+			case jsonpath.Index, jsonpath.Slice, jsonpath.Wildcard:
+				if automaton.IndexMatches(sel, idx) {
+					out |= 1 << uint(q+1)
+				}
 			}
 		}
 	}
@@ -198,6 +214,12 @@ func (e *NFAEngine) matchIndex(set stateSet, idx int) (child stateSet, acc none,
 }
 
 func (e *NFAEngine) emitMatch(_ none, start, end int) { e.emitSpan(start, end) }
+
+// resolveProbe is unreachable: NewNFAEngine rejects filter steps, so no
+// transition ever yields a Candidate.
+func (e *NFAEngine) resolveProbe(stateSet, jsonpath.ValueType, int, int, fastforward.Group) error {
+	return fmt.Errorf("core: NFA policy has no filter probes")
+}
 
 // stateID renders the live state-set bitmask (not a single DFA state)
 // into explain-trace events.

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"jsonski/internal/automaton"
 	"jsonski/internal/baseline/domparser"
 	"jsonski/internal/jsonpath"
 )
@@ -135,11 +136,16 @@ func domOracle(t *testing.T, steps []jsonpath.Step, data []byte) []string {
 						if string(k) == st.Name {
 							next |= 1 << uint(q+1)
 						}
-					case jsonpath.AnyChild:
+					case jsonpath.Wildcard:
 						next |= 1 << uint(q+1)
 					case jsonpath.Descendant:
 						next |= 1 << uint(q)
-						if st.Name == "" || string(k) == st.Name {
+						switch sel := st.Sel[0]; sel.Kind {
+						case jsonpath.Child:
+							if string(k) == sel.Name {
+								next |= 1 << uint(q+1)
+							}
+						case jsonpath.Wildcard:
 							next |= 1 << uint(q+1)
 						}
 					}
@@ -158,14 +164,21 @@ func domOracle(t *testing.T, steps []jsonpath.Step, data []byte) []string {
 						continue
 					}
 					st := steps[q]
-					switch {
-					case st.IsArrayStep():
-						if idx >= st.Lo && idx < st.Hi {
+					switch st.Kind {
+					case jsonpath.Index, jsonpath.Slice:
+						if automaton.IndexMatches(st, idx) {
 							next |= 1 << uint(q+1)
 						}
-					case st.Kind == jsonpath.Descendant:
+					case jsonpath.Wildcard:
+						next |= 1 << uint(q+1)
+					case jsonpath.Descendant:
 						next |= 1 << uint(q)
-						if st.Name == "" {
+						switch sel := st.Sel[0]; sel.Kind {
+						case jsonpath.Index, jsonpath.Slice:
+							if automaton.IndexMatches(sel, idx) {
+								next |= 1 << uint(q+1)
+							}
+						case jsonpath.Wildcard:
 							next |= 1 << uint(q+1)
 						}
 					}

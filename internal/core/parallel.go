@@ -49,6 +49,14 @@ func NewParallelEngine(p *jsonpath.Path, workers int) (*ParallelEngine, error) {
 	if p.HasDescendant() {
 		return nil, fmt.Errorf("core: speculation does not apply to descendant paths")
 	}
+	for i, st := range p.Steps {
+		// Filter steps are streamable (the serial engine probes them) but
+		// union and backward/negative steps are not: those route through
+		// the segmented evaluator, never here.
+		if !st.Streamable() {
+			return nil, fmt.Errorf("core: step %d (%s) is not streamable", i, st.Kind)
+		}
+	}
 	pe := &ParallelEngine{aut: automaton.New(p), workers: workers}
 	// Pre-compile the "remaining path" automaton for every possible
 	// array-step split point.
@@ -90,6 +98,13 @@ func (pe *ParallelEngine) serial(data []byte, ix *stream.Index, emit EmitFunc) (
 func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (Stats, error) {
 	if pe.workers <= 1 {
 		return pe.serial(data, ix, emit)
+	}
+	// Absolute ($) references inside filter predicates resolve against the
+	// whole record; a sharded engine would resolve them against its element.
+	for k := 0; k < pe.aut.StepCount(); k++ {
+		if st := pe.aut.Step(k); st.Kind == jsonpath.Filter && st.Filter.HasAbsolute() {
+			return pe.serial(data, ix, emit)
+		}
 	}
 	// Phase 1 runs over the same cursor substrate as the engines: the
 	// prefix resolution below is a hand-rolled descent only because it
@@ -159,10 +174,10 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 		return Stats{}, err
 	}
 	// Phase 4: evaluate elements in parallel with the remaining path.
-	lo, hi, constrained := pe.aut.Range(k)
-	if !constrained {
-		lo, hi = 0, jsonpath.MaxIndex
-	}
+	// The split step is an Index or Slice (wildcard and filter prefixes
+	// fell back to serial above), so per-element selection — including
+	// slice stride gaps — is IndexMatches.
+	stepK := pe.aut.Step(k)
 	sub := pe.subAut[k]
 	var (
 		next  atomic.Int64
@@ -184,7 +199,7 @@ func (pe *ParallelEngine) eval(data []byte, ix *stream.Index, emit EmitFunc) (St
 				if i >= len(elems) {
 					break
 				}
-				if i < lo || i >= hi {
+				if !automaton.IndexMatches(stepK, i) {
 					continue
 				}
 				el := elems[i]

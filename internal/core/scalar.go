@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jsonski/internal/automaton"
+	"jsonski/internal/baseline/domparser"
 	"jsonski/internal/jsonpath"
 )
 
@@ -25,6 +26,13 @@ type ScalarEngine struct {
 
 	matches int64
 	skipped int64 // bytes fast-forwarded (scalar-ly)
+
+	// rootDoc caches the record DOM within one run, for absolute ($)
+	// references inside filter expressions. This ablation evaluates
+	// filter candidates through the reference evaluator — the decision
+	// mix still matches Engine (the candidate span is consumed by one
+	// scalar skip); only the predicate machinery differs.
+	rootDoc *domparser.Doc
 }
 
 // NewScalarEngine creates the ablation engine for an automaton.
@@ -35,6 +43,7 @@ func NewScalarEngine(a *automaton.Automaton) *ScalarEngine {
 // Run evaluates the query over one record.
 func (e *ScalarEngine) Run(data []byte, emit EmitFunc) (Stats, error) {
 	e.data, e.pos, e.emit, e.matches, e.skipped = data, 0, emit, 0, 0
+	e.rootDoc = nil
 	err := e.run()
 	st := Stats{Matches: e.matches, InputBytes: int64(len(data))}
 	// All scalar skips are reported as one bucket (G2 slot) — the
@@ -96,7 +105,7 @@ func (e *ScalarEngine) object(q int) error {
 		return e.toObjEnd()
 	}
 	expected := e.aut.TypeExpected(q)
-	anyChild := e.aut.Step(q).Kind == jsonpath.AnyChild
+	unique := e.aut.Step(q).Kind == jsonpath.Child
 	for {
 		e.ws()
 		if e.pos >= len(e.data) {
@@ -129,7 +138,7 @@ func (e *ScalarEngine) object(q int) error {
 		}
 		vt := jsonpath.TypeOfByte(e.data[e.pos])
 		// G1 decision: wrong-typed attribute — skip without matching.
-		if expected != jsonpath.Unknown && vt != expected {
+		if !expected.Admits(vt) {
 			if err := e.skipValueCounted(); err != nil {
 				return err
 			}
@@ -147,12 +156,20 @@ func (e *ScalarEngine) object(q int) error {
 				return err
 			}
 			e.match(start, e.pos)
+		case automaton.Candidate: // filter state: consume, then decide
+			start := e.pos
+			if err := e.skipValueCounted(); err != nil {
+				return err
+			}
+			if err := e.probeCandidate(q2, start, e.pos); err != nil {
+				return err
+			}
 		default: // Matched: descend
 			if err := e.descend(vt, q2); err != nil {
 				return err
 			}
 		}
-		if status != automaton.Unmatched && !anyChild {
+		if status != automaton.Unmatched && unique {
 			return e.toObjEnd() // G4 decision
 		}
 	}
@@ -185,8 +202,7 @@ func (e *ScalarEngine) array(q int) error {
 		}
 		vt := jsonpath.TypeOfByte(e.data[e.pos])
 		// G5/G1 decisions: out of range, or wrong type in range.
-		if (constrained && idx < lo) ||
-			(expected != jsonpath.Unknown && vt != expected) {
+		if (constrained && idx < lo) || !expected.Admits(vt) {
 			if err := e.skipValueCounted(); err != nil {
 				return err
 			}
@@ -204,12 +220,57 @@ func (e *ScalarEngine) array(q int) error {
 				return err
 			}
 			e.match(start, e.pos)
+		case automaton.Candidate:
+			start := e.pos
+			if err := e.skipValueCounted(); err != nil {
+				return err
+			}
+			if err := e.probeCandidate(q2, start, e.pos); err != nil {
+				return err
+			}
 		default:
 			if err := e.descend(vt, q2); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// probeCandidate decides a filter candidate through the reference
+// evaluator: parse the consumed span, test the predicate, and — when the
+// filter is not the final step — run the remaining steps over the same
+// DOM, shifting emitted spans into record coordinates.
+func (e *ScalarEngine) probeCandidate(child, start, end int) error {
+	doc, err := domparser.ParseDoc(e.data[start:end])
+	if err != nil {
+		return nil // malformed candidate selects nothing
+	}
+	st := e.aut.Step(child - 1)
+	suffix := suffixSteps(e.aut, child)
+	if st.Filter.HasAbsolute() || suffixHasAbsolute(suffix) {
+		doc.Abs = e.recordDoc()
+	}
+	if !doc.Holds(st.Filter, doc.Root) {
+		return nil
+	}
+	if child == e.aut.StepCount() {
+		e.match(start, end)
+		return nil
+	}
+	doc.EvalSpans(suffix, func(s2, e2 int) { e.match(start+s2, start+e2) })
+	return nil
+}
+
+// recordDoc lazily parses the whole record for absolute references.
+func (e *ScalarEngine) recordDoc() *domparser.Doc {
+	if e.rootDoc == nil {
+		d, err := domparser.ParseDoc(e.data)
+		if err != nil {
+			d = &domparser.Doc{} // absent root: absolute refs select nothing
+		}
+		e.rootDoc = d
+	}
+	return e.rootDoc
 }
 
 func (e *ScalarEngine) descend(vt jsonpath.ValueType, q2 int) error {

@@ -322,7 +322,7 @@ type AttrResult struct {
 // When the object ends first, the cursor is just past the '}' and
 // End=true.
 func (f *FF) NextAttr(expected jsonpath.ValueType) (AttrResult, error) {
-	if expected == jsonpath.Object || expected == jsonpath.Array {
+	if expected == jsonpath.Object || expected == jsonpath.Array || expected == jsonpath.Container {
 		return f.nextTypedAttr(expected)
 	}
 	s := f.S
@@ -359,7 +359,7 @@ func (f *FF) NextAttr(expected jsonpath.ValueType) (AttrResult, error) {
 			return AttrResult{}, fmt.Errorf("fastforward: attribute at %d has no value", nameStart)
 		}
 		vt := jsonpath.TypeOfByte(vb)
-		if expected == jsonpath.Unknown || vt == expected {
+		if expected.Admits(vt) {
 			return AttrResult{Name: name, VType: vt}, nil
 		}
 		// Wrong type: fast-forward over the whole attribute (G1).
@@ -413,7 +413,7 @@ func (f *FF) NextElem(expected jsonpath.ValueType, idx int) (ElemResult, error) 
 			continue
 		}
 		vt := jsonpath.TypeOfByte(b)
-		if expected == jsonpath.Unknown || vt == expected {
+		if expected.Admits(vt) {
 			return ElemResult{VType: vt, Index: idx}, nil
 		}
 		// Skip the mismatched element (G1).
@@ -560,7 +560,7 @@ func (f *FF) nextTypedAttr(expected jsonpath.ValueType) (AttrResult, error) {
 			s.Advance(1)
 			return AttrResult{End: true}, nil
 		case '{':
-			if expected == jsonpath.Object {
+			if expected.Admits(jsonpath.Object) {
 				name, err := nameBefore(s.Data(), p)
 				if err != nil {
 					return AttrResult{}, err
@@ -572,7 +572,7 @@ func (f *FF) nextTypedAttr(expected jsonpath.ValueType) (AttrResult, error) {
 				return AttrResult{}, err
 			}
 		case '[':
-			if expected == jsonpath.Array {
+			if expected.Admits(jsonpath.Array) {
 				name, err := nameBefore(s.Data(), p)
 				if err != nil {
 					return AttrResult{}, err

@@ -9,12 +9,21 @@
 // elements — are fast-forwarded using word-sized structural bitmaps, so
 // on typical path queries well over 95% of the input is never tokenized.
 //
-// Supported path syntax: $ (root), .name and ['name'] (child), [n]
-// (index), [m:n] (half-open range), [*] and .* (wildcards), and ..name /
-// ..* (descendant — the paper's stated future work). Descendant paths are
-// evaluated by a set-of-states NFA engine: as the paper observes (§5.1) a
-// descendant's level is unknown, so type-based fast-forwarding does not
-// apply below it; dead subtrees are still skipped bit-parallel.
+// Supported path syntax (RFC 9535): $ (root), .name and ['name']
+// (child), [n] (index, negatives count from the end), [m:n:s] (slices
+// with optional stride, backward with negative stride), [*] and .*
+// (wildcards), [?expr] (filters: existence tests, comparisons, &&/||/!),
+// [a,b,...] (unions), and ..name / ..* (descendant — the paper's stated
+// future work). Descendant paths are evaluated by a set-of-states NFA
+// engine: as the paper observes (§5.1) a descendant's level is unknown,
+// so type-based fast-forwarding does not apply below it; dead subtrees
+// are still skipped bit-parallel. Filter steps stay on the streaming
+// engines: each candidate value is captured with one fast-forward
+// movement and decided by a span probe. Selectors whose RFC semantics
+// need the container length or per-selector output order (unions,
+// negative indexes/bounds, backward slices) run segmented — a streamable
+// prefix fast-forwards as usual and only the selected spans are handed
+// to a reference evaluator for the deferred tail.
 //
 //	q := jsonski.MustCompile("$.place.name")
 //	stats, err := q.Run(data, func(m jsonski.Match) {
@@ -146,7 +155,22 @@ func Compile(expr string) (*Query, error) {
 		return nil, err
 	}
 	q := &Query{path: p}
-	if p.HasDescendant() {
+	switch {
+	case p.SplitPoint() >= 0:
+		// Deferred selectors (unions, negative indexes/bounds, backward
+		// slices, descendant+filter mixes): streamable prefix through the
+		// DFA/NFA engine, deferred tail through the reference evaluator.
+		// q.aut stays nil, so the speculative parallel entry points fall
+		// back to serial evaluation.
+		if _, err := core.NewSegmentedEngine(p); err != nil {
+			return nil, err
+		}
+		q.pool.New = func() any {
+			e, _ := core.NewSegmentedEngine(p)
+			return runner(e)
+		}
+		return q, nil
+	case p.HasDescendant():
 		// Validate once so pool.New cannot fail later.
 		if _, err := core.NewNFAEngine(p); err != nil {
 			return nil, err

@@ -221,9 +221,15 @@ func TestDescendantQueries(t *testing.T) {
 	}
 }
 
-func TestDescendantRejectedInSets(t *testing.T) {
-	if _, err := CompileSet("$.ok", "$..nope"); err == nil {
-		t.Fatal("descendant in set should be rejected")
+func TestDescendantAllowedInSets(t *testing.T) {
+	// Descendant queries route to a sidecar NFA engine within the set.
+	qs, err := CompileSet("$.ok", "$..nope")
+	if err != nil {
+		t.Fatalf("descendant in set should compile: %v", err)
+	}
+	counts, err := qs.Counts([]byte(`{"ok": 1, "deep": {"nope": 2}}`))
+	if err != nil || counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("counts=%v err=%v", counts, err)
 	}
 }
 

@@ -14,11 +14,34 @@ import (
 // irrelevant, so a set of related queries costs far less than running
 // them one by one.
 //
+// Queries the shared traversal cannot host — filters (their candidate
+// probes are a single-query policy), descendants, and deferred selectors
+// (unions, negative indexes/bounds, backward slices) — are compiled to
+// per-query sidecar engines and evaluated in additional passes after the
+// shared one. Matches of each query arrive in document order; matches of
+// different sidecar queries do not interleave.
+//
 // A QuerySet is immutable and safe for concurrent use.
 type QuerySet struct {
-	exprs []string
-	auts  []*automaton.Automaton
-	pool  sync.Pool
+	exprs  []string
+	auts   []*automaton.Automaton // shared-pass automatons
+	autIdx []int                  // autIdx[j] = index in exprs of auts[j]
+	side   []sideQuery            // per-query engines for filter/descendant/deferred queries
+	pool   sync.Pool              // *core.MultiEngine; unused when auts is empty
+}
+
+// sideQuery is one query evaluated outside the shared traversal.
+type sideQuery struct {
+	idx int // position in exprs
+	q   *Query
+}
+
+// sharable reports whether the multi-query engine can host the path in
+// its shared traversal. Filters are excluded even though the DFA streams
+// them: a filter transition yields a candidate span probe, which is a
+// single-query policy the shared automaton product does not implement.
+func sharable(p *jsonpath.Path) bool {
+	return !p.HasFilter() && !p.HasDescendant() && p.SplitPoint() < 0
 }
 
 // CompileSet parses and compiles all expressions. The query index passed
@@ -27,20 +50,26 @@ func CompileSet(exprs ...string) (*QuerySet, error) {
 	if len(exprs) == 0 {
 		return nil, &jsonpath.ParseError{Msg: "empty query set"}
 	}
-	auts := make([]*automaton.Automaton, len(exprs))
+	qs := &QuerySet{exprs: append([]string(nil), exprs...)}
 	for i, expr := range exprs {
 		p, err := jsonpath.Parse(expr)
 		if err != nil {
 			return nil, err
 		}
-		if p.HasDescendant() {
-			return nil, &jsonpath.ParseError{Query: expr,
-				Msg: "descendant steps are not supported in query sets"}
+		if !sharable(p) {
+			q, err := Compile(expr)
+			if err != nil {
+				return nil, err
+			}
+			qs.side = append(qs.side, sideQuery{idx: i, q: q})
+			continue
 		}
-		auts[i] = automaton.New(p)
+		qs.auts = append(qs.auts, automaton.New(p))
+		qs.autIdx = append(qs.autIdx, i)
 	}
-	qs := &QuerySet{exprs: append([]string(nil), exprs...), auts: auts}
-	qs.pool.New = func() any { return core.NewMultiEngine(qs.auts) }
+	if len(qs.auts) > 0 {
+		qs.pool.New = func() any { return core.NewMultiEngine(qs.auts) }
+	}
 	return qs, nil
 }
 
@@ -66,57 +95,127 @@ type SetMatch struct {
 	Match
 }
 
-// Run evaluates all queries over one record in a single pass, invoking
-// fn for every match of every query in document order.
-func (qs *QuerySet) Run(data []byte, fn func(SetMatch)) (Stats, error) {
+// runShared evaluates the shared traversal over one record, remapping
+// engine query positions to set positions. No-op when every query is a
+// sidecar.
+func (qs *QuerySet) runShared(data []byte, ix *Index, emit core.MultiEmitFunc) (Stats, error) {
+	var out Stats
+	if len(qs.auts) == 0 {
+		return out, nil
+	}
 	e := qs.pool.Get().(*core.MultiEngine)
 	defer qs.pool.Put(e)
-	var emit core.MultiEmitFunc
-	if fn != nil {
-		emit = func(query, s, en int) {
-			fn(SetMatch{Query: query, Match: Match{Start: s, End: en, Value: data[s:en]}})
+	var st core.Stats
+	var err error
+	if ix != nil {
+		st, err = e.RunIndexed(ix.ix, emit)
+	} else {
+		st, err = e.Run(data, emit)
+	}
+	out.add(st)
+	return out, err
+}
+
+// runSide evaluates the sidecar queries over one record, delivering each
+// query's spans through emit with that query's set position.
+func (qs *QuerySet) runSide(data []byte, ix *Index, emit core.MultiEmitFunc) (Stats, error) {
+	var out Stats
+	for _, sq := range qs.side {
+		e := sq.q.pool.Get().(runner)
+		var fn core.EmitFunc
+		if emit != nil {
+			idx := sq.idx
+			fn = func(s, en int) { emit(idx, s, en) }
+		}
+		var st core.Stats
+		var err error
+		if ix != nil {
+			st, err = e.RunIndexed(ix.ix, fn)
+		} else {
+			st, err = e.Run(data, fn)
+		}
+		sq.q.pool.Put(e)
+		out.add(st)
+		if err != nil {
+			return out, err
 		}
 	}
-	st, err := e.Run(data, emit)
-	var out Stats
-	out.add(st)
+	return out, nil
+}
+
+// runAll is the common body of the single-record entry points.
+func (qs *QuerySet) runAll(data []byte, ix *Index, emit core.MultiEmitFunc) (Stats, error) {
+	out, err := qs.runShared(data, ix, emit)
+	if err != nil {
+		return out, err
+	}
+	side, err := qs.runSide(data, ix, emit)
+	out.merge(side)
+	return out, err
+}
+
+// remapEmit converts a SetMatch callback into the engine-facing emit,
+// translating shared-pass query positions into set positions. Sidecar
+// deliveries arrive with the set position already (runSide passes it),
+// so the translation table covers both: positions < len(auts) belong to
+// the shared pass only when the caller is the shared engine — runSide
+// bypasses this by calling fn directly.
+func (qs *QuerySet) remapEmit(data []byte, record int, fn func(SetMatch)) (shared, side core.MultiEmitFunc) {
+	if fn == nil {
+		return nil, nil
+	}
+	shared = func(query, s, en int) {
+		fn(SetMatch{Query: qs.autIdx[query],
+			Match: Match{Start: s, End: en, Value: data[s:en], Record: record}})
+	}
+	side = func(query, s, en int) {
+		fn(SetMatch{Query: query,
+			Match: Match{Start: s, End: en, Value: data[s:en], Record: record}})
+	}
+	return shared, side
+}
+
+// Run evaluates all queries over one record, invoking fn for every match
+// of every query. Shared-pass matches arrive in document order; sidecar
+// queries (filters, descendants, deferred selectors) follow, each in
+// document order.
+func (qs *QuerySet) Run(data []byte, fn func(SetMatch)) (Stats, error) {
+	shared, side := qs.remapEmit(data, 0, fn)
+	out, err := qs.runShared(data, nil, shared)
+	if err != nil {
+		return out, err
+	}
+	st, err := qs.runSide(data, nil, side)
+	out.merge(st)
 	return out, err
 }
 
 // RunIndexed is Run over a prebuilt structural index of the buffer: the
 // one shared traversal also borrows ix's materialized word masks, so a
 // set of queries over a hot document pays neither per-query passes nor
-// per-word classification. The index must stay alive (not finally
-// Released) for the duration of the call.
+// per-word classification. Sidecar queries borrow the same masks. The
+// index must stay alive (not finally Released) for the duration of the
+// call.
 func (qs *QuerySet) RunIndexed(ix *Index, fn func(SetMatch)) (Stats, error) {
-	e := qs.pool.Get().(*core.MultiEngine)
-	defer qs.pool.Put(e)
 	data := ix.Data()
-	var emit core.MultiEmitFunc
-	if fn != nil {
-		emit = func(query, s, en int) {
-			fn(SetMatch{Query: query, Match: Match{Start: s, End: en, Value: data[s:en]}})
-		}
+	shared, side := qs.remapEmit(data, 0, fn)
+	out, err := qs.runShared(data, ix, shared)
+	if err != nil {
+		return out, err
 	}
-	st, err := e.RunIndexed(ix.ix, emit)
-	var out Stats
-	out.add(st)
+	st, err := qs.runSide(data, ix, side)
+	out.merge(st)
 	return out, err
 }
 
-// RunSink evaluates all queries over one record in a single pass,
-// delivering every match of every query to sink in document order. The
-// Sink contract carries no query index — use Run with a callback when
-// per-query attribution matters; RunSink suits the output modes where
-// the queries' results interleave into one stream (e.g. NDJSON out).
-// sink may be nil to only count matches.
+// RunSink evaluates all queries over one record, delivering every match
+// of every query to sink. The Sink contract carries no query index — use
+// Run with a callback when per-query attribution matters; RunSink suits
+// the output modes where the queries' results interleave into one stream
+// (e.g. NDJSON out). sink may be nil to only count matches.
 func (qs *QuerySet) RunSink(data []byte, sink Sink) (Stats, error) {
-	e := qs.pool.Get().(*core.MultiEngine)
-	defer qs.pool.Put(e)
 	sr := newSetSinkRun(sink)
-	st, err := e.Run(data, sr.bind(0, data))
-	var out Stats
-	out.add(st)
+	out, err := qs.runAll(data, nil, sr.bind(0, data))
 	return out, sr.finish(err)
 }
 
@@ -124,12 +223,8 @@ func (qs *QuerySet) RunSink(data []byte, sink Sink) (Stats, error) {
 // buffer. The index must stay alive (not finally Released) for the
 // duration of the call.
 func (qs *QuerySet) RunIndexedSink(ix *Index, sink Sink) (Stats, error) {
-	e := qs.pool.Get().(*core.MultiEngine)
-	defer qs.pool.Put(e)
 	sr := newSetSinkRun(sink)
-	st, err := e.RunIndexed(ix.ix, sr.bind(0, ix.Data()))
-	var out Stats
-	out.add(st)
+	out, err := qs.runAll(ix.Data(), ix, sr.bind(0, ix.Data()))
 	return out, sr.finish(err)
 }
 
@@ -138,20 +233,16 @@ func (qs *QuerySet) RunIndexedSink(ix *Index, sink Sink) (Stats, error) {
 // every match of every query. SetMatch.Record carries the record index.
 // Engine errors are wrapped with the index of the offending record.
 func (qs *QuerySet) RunRecords(records [][]byte, fn func(SetMatch)) (Stats, error) {
-	e := qs.pool.Get().(*core.MultiEngine)
-	defer qs.pool.Put(e)
 	var out Stats
 	for i, rec := range records {
-		var emit core.MultiEmitFunc
-		if fn != nil {
-			i, rec := i, rec
-			emit = func(query, s, en int) {
-				fn(SetMatch{Query: query,
-					Match: Match{Start: s, End: en, Value: rec[s:en], Record: i}})
-			}
+		shared, side := qs.remapEmit(rec, i, fn)
+		st, err := qs.runShared(rec, nil, shared)
+		out.merge(st)
+		if err != nil {
+			return out, wrapRecordErr(i, err)
 		}
-		st, err := e.Run(rec, emit)
-		out.add(st)
+		st, err = qs.runSide(rec, nil, side)
+		out.merge(st)
 		if err != nil {
 			return out, wrapRecordErr(i, err)
 		}

@@ -13,8 +13,38 @@ func TestCompileSetErrors(t *testing.T) {
 	if _, err := CompileSet(); err == nil {
 		t.Fatal("empty set should error")
 	}
-	if _, err := CompileSet("$.ok", "$..bad"); err == nil {
+	if _, err := CompileSet("$.ok", "$..["); err == nil {
 		t.Fatal("bad member should error")
+	}
+}
+
+func TestQuerySetSidecarRouting(t *testing.T) {
+	// Filter, descendant, and deferred-selector queries route to sidecar
+	// engines; plain path queries share one traversal. All answer.
+	qs := MustCompileSet(
+		"$.items[*].name",       // shared pass
+		"$.items[?@.price<10]",  // filter sidecar
+		"$..price",              // descendant sidecar
+		"$.items[-1]",           // deferred (negative index) sidecar
+		"$.items[0]['name','price']", // deferred (union) sidecar
+	)
+	data := []byte(`{"items": [{"name": "a", "price": 5}, {"name": "b", "price": 20}]}`)
+	got := map[int][]string{}
+	_, err := qs.Run(data, func(m SetMatch) {
+		got[m.Query] = append(got[m.Query], string(m.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]string{
+		0: {`"a"`, `"b"`},
+		1: {`{"name": "a", "price": 5}`},
+		2: {`5`, `20`},
+		3: {`{"name": "b", "price": 20}`},
+		4: {`"a"`, `5`},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
 	}
 }
 

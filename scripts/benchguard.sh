@@ -11,6 +11,11 @@
 #   BenchmarkRunLargeSinkStream — the zero-copy streaming-sink output
 #                                 path (the sink layer must not tax the
 #                                 per-match emit)
+#   BenchmarkRunFilterSkip      — the skip-eligible filter probe plan
+#                                 (mini child-chain DFA probes over
+#                                 candidate spans)
+#   BenchmarkRunFilterFullParse — the full-parse filter fallback (DOM
+#                                 per candidate span)
 #
 # A benchmark absent from the base file is skipped, not failed: it did
 # not exist at the base commit. Both files must be produced on the SAME
@@ -44,7 +49,8 @@ mean() {
 }
 
 fail=0
-for bench in BenchmarkRunLarge BenchmarkRunLargeSinkStream; do
+for bench in BenchmarkRunLarge BenchmarkRunLargeSinkStream \
+             BenchmarkRunFilterSkip BenchmarkRunFilterFullParse; do
     head_mean=$(mean "$head_file" "$bench")
     if [ -z "$head_mean" ]; then
         echo "$bench: no samples in $head_file" >&2
