@@ -174,8 +174,15 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 			st.InputBytes, elapsed, float64(st.InputBytes)/elapsed.Seconds()/1e6)
 		fmt.Fprintf(os.Stderr, "fast-forwarded: %.2f%% of input\n", st.FastForwardRatio()*100)
 		for g := 0; g < 5; g++ {
-			fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%\n", g+1, st.GroupRatio(g)*100)
+			fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%  (%d bytes)\n", g+1, st.GroupRatio(g)*100, st.SkippedBytes[g])
 		}
+		scanned := st.ScannedBytes()
+		skipped := st.InputBytes - scanned
+		skipRatio := 0.0
+		if st.InputBytes > 0 {
+			skipRatio = float64(skipped) / float64(st.InputBytes)
+		}
+		fmt.Fprintf(os.Stderr, "scanned: %d bytes, skip ratio %.4f\n", scanned, skipRatio)
 		if lat := st.Latency(); lat != nil {
 			fmt.Fprintf(os.Stderr, "record latency: p50 %v  p90 %v  p99 %v  max %v (%d records)\n",
 				lat.P50(), lat.P90(), lat.P99(), lat.Max(), lat.Count)

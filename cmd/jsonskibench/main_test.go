@@ -135,3 +135,60 @@ func TestFilterExperiment(t *testing.T) {
 		t.Fatalf("threshold 800 should match every item: %+v", rep.Rows)
 	}
 }
+
+// TestTraceExperiment smoke-runs the tracing-overhead experiment at a
+// tiny size and checks the machine-readable report (the BENCH_8.json
+// trajectory): four modes, span counters consistent with the sampling
+// ratios, and the charge-group byte accounting closed.
+func TestTraceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer func(d time.Duration) { benchTime = d }(benchTime)
+	benchTime = time.Millisecond
+	out := filepath.Join(t.TempDir(), "BENCH_8.json")
+	h := &harness{size: 256 << 10, workers: 2, seed: 7}
+	h.trace(out)
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep traceReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "trace" || rep.Schema != 1 || rep.Dataset != "tt" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 (baseline, off, sampled, always)", len(rep.Rows))
+	}
+	byMode := map[string]traceRow{}
+	for _, r := range rep.Rows {
+		if r.NsPerRecord <= 0 || r.MBs <= 0 {
+			t.Fatalf("row %s has zero timing: %+v", r.Mode, r)
+		}
+		byMode[r.Mode] = r
+	}
+	for _, m := range []string{"baseline", "off", "sampled", "always"} {
+		if _, ok := byMode[m]; !ok {
+			t.Fatalf("missing mode %q: %+v", m, rep.Rows)
+		}
+	}
+	if r := byMode["off"]; r.SpansStarted != 0 {
+		t.Fatalf("off mode started spans: %+v", r)
+	}
+	if r := byMode["always"]; r.SpansStarted == 0 || r.SpansSampled != r.SpansStarted {
+		t.Fatalf("always mode should sample every span: %+v", r)
+	}
+	if r := byMode["sampled"]; r.SpansStarted == 0 || r.SpansSampled >= r.SpansStarted {
+		t.Fatalf("sampled(0.1) mode should sample a strict subset: %+v", r)
+	}
+	if !rep.Summary.BytesAccounted {
+		t.Fatalf("byte accounting did not close: %+v", rep.Accounting)
+	}
+	if rep.Accounting.InputBytes <= 0 || rep.Accounting.SkipRatio <= 0 {
+		t.Fatalf("accounting: %+v", rep.Accounting)
+	}
+}

@@ -28,7 +28,7 @@ func TestServeEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, ln, server.Config{Workers: 2}, 5*time.Second, nil)
+		done <- serve(ctx, ln, server.Config{Workers: 2}, 5*time.Second, nil, nil)
 	}()
 	base := "http://" + ln.Addr().String()
 	waitHealthy(t, base)

@@ -85,6 +85,42 @@ func (q *Query) RunExplain(data []byte, maxEvents int, fn func(Match)) (Stats, e
 	return out, err
 }
 
+// RunSinkExplain is RunSink in explain mode: matches stream into sink
+// exactly as in RunSink while up to maxEvents fast-forward movements
+// (DefaultTraceEvents when maxEvents <= 0) are recorded, retrievable via
+// Stats.Trace. This is the entry point the daemon uses for sampled
+// requests: the movement log becomes span events without disturbing the
+// streaming output path.
+func (q *Query) RunSinkExplain(data []byte, sink Sink, maxEvents int) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	tr := telemetry.NewTrace(maxEvents)
+	e.SetTrace(tr)
+	defer e.SetTrace(nil)
+	sr := newSinkRun(sink)
+	st, err := e.Run(data, sr.bind(0, data))
+	var out Stats
+	out.add(st)
+	out.trace = publicTrace(tr)
+	return out, sr.finish(err)
+}
+
+// RunIndexedSinkExplain is RunIndexedSink in explain mode. The index
+// must stay alive (not finally Released) for the duration of the call.
+func (q *Query) RunIndexedSinkExplain(ix *Index, sink Sink, maxEvents int) (Stats, error) {
+	e := q.pool.Get().(runner)
+	defer q.pool.Put(e)
+	tr := telemetry.NewTrace(maxEvents)
+	e.SetTrace(tr)
+	defer e.SetTrace(nil)
+	sr := newSinkRun(sink)
+	st, err := e.RunIndexed(ix.ix, sr.bind(0, ix.Data()))
+	var out Stats
+	out.add(st)
+	out.trace = publicTrace(tr)
+	return out, sr.finish(err)
+}
+
 // publicTrace converts the internal event log to the exported form.
 func publicTrace(tr *telemetry.Trace) *Trace {
 	evs := tr.Events()

@@ -49,6 +49,20 @@ func (st Stats) GroupRatios() [fastforward.NumGroups]float64 {
 	return per
 }
 
+// ScannedBytes returns the bytes the engine actually examined: input
+// minus everything fast-forwarded over. Together with the per-group
+// Skipped breakdown this is the run's full cost attribution — every
+// input byte is either charged to a Table 1 group or was scanned.
+// Clamped at zero: window runs can charge a movement that ends past
+// the window's nominal input span.
+func (st Stats) ScannedBytes() int64 {
+	n := st.InputBytes - st.Skipped.TotalSkipped()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // none is the accept payload of single-query policies: the span itself
 // identifies the match, so nothing extra travels from matchKey to
 // emitMatch.

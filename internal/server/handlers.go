@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"jsonski"
+	"jsonski/internal/telemetry"
 )
 
 // Explain-mode event caps: a single record's trace is bounded at
@@ -124,15 +125,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The request's root span (nil unless tracing is on and the request
+	// was sampled or force-collected); eval closures hang per-record
+	// engine spans off it from pool workers, which StartChild permits.
+	rsp := telemetry.SpanFromContext(r.Context())
 	if explainRequested(r) {
 		s.serve(w, r, evaluator{
 			explain: true,
 			eval: func(rec []byte, idx int) recResult {
 				buf := getLineBuf()
+				sp := rsp.StartChild("engine.run")
 				t0 := time.Now()
 				st, err := q.RunExplain(rec, perRecordExplainEvents, queryLine(buf, idx))
 				s.m.recordLatency.Observe(time.Since(t0))
 				s.m.addStats(st)
+				s.finishEngineSpan(sp, idx, st, err)
 				return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err, trace: st.Trace()}
 			},
 		})
@@ -142,26 +149,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		eval: func(rec []byte, idx int) recResult {
 			buf := getLineBuf()
 			sink := &jsonski.StreamSink{W: buf, Prefix: recordPrefix(idx), Suffix: lineSuffix}
-			t0 := time.Now()
-			st, err := q.RunSink(rec, sink)
-			s.m.recordLatency.Observe(time.Since(t0))
-			s.m.addStats(st)
-			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
-		},
-		single: func(w io.Writer, data []byte, ix *jsonski.Index) error {
-			sink := &jsonski.StreamSink{W: w, Prefix: singlePrefix, Suffix: lineSuffix}
+			sp := rsp.StartChild("engine.run")
 			t0 := time.Now()
 			var (
 				st  jsonski.Stats
 				err error
 			)
-			if ix != nil {
-				st, err = q.RunIndexedSink(ix, sink)
+			if sp.Recording() {
+				// Sampled: the explain-sink run records the movement log
+				// that becomes the span's events. Same engine, same output.
+				st, err = q.RunSinkExplain(rec, sink, spanTraceEvents)
 			} else {
+				st, err = q.RunSink(rec, sink)
+			}
+			s.m.recordLatency.Observe(time.Since(t0))
+			s.m.addStats(st)
+			s.finishEngineSpan(sp, idx, st, err)
+			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
+		},
+		single: func(w io.Writer, data []byte, ix *jsonski.Index) error {
+			sink := &jsonski.StreamSink{W: w, Prefix: singlePrefix, Suffix: lineSuffix}
+			sp := rsp.StartChild("engine.run")
+			sp.SetBool("jsonski.indexed", ix != nil)
+			t0 := time.Now()
+			var (
+				st  jsonski.Stats
+				err error
+			)
+			switch {
+			case ix != nil && sp.Recording():
+				st, err = q.RunIndexedSinkExplain(ix, sink, spanTraceEvents)
+			case ix != nil:
+				st, err = q.RunIndexedSink(ix, sink)
+			case sp.Recording():
+				st, err = q.RunSinkExplain(data, sink, spanTraceEvents)
+			default:
 				st, err = q.RunSink(data, sink)
 			}
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
+			s.finishEngineSpan(sp, 0, st, err)
 			return err
 		},
 	})
@@ -197,21 +224,27 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
+	rsp := telemetry.SpanFromContext(r.Context())
 	s.serve(w, r, evaluator{
 		eval: func(rec []byte, idx int) recResult {
 			buf := getLineBuf()
+			sp := rsp.StartChild("engine.run")
 			t0 := time.Now()
 			st, err := qs.Run(rec, multiLine(buf, idx))
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
+			s.finishEngineSpan(sp, idx, st, err)
 			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
 		},
 		evalIndexed: func(ix *jsonski.Index, idx int) recResult {
 			buf := getLineBuf()
+			sp := rsp.StartChild("engine.run")
+			sp.SetBool("jsonski.indexed", true)
 			t0 := time.Now()
 			st, err := qs.RunIndexed(ix, multiLine(buf, idx))
 			s.m.recordLatency.Observe(time.Since(t0))
 			s.m.addStats(st)
+			s.finishEngineSpan(sp, idx, st, err)
 			return recResult{idx: idx, out: buf.Bytes(), buf: buf, err: err}
 		},
 	})
@@ -277,12 +310,16 @@ func (t *explainTrail) add(idx int, tr *jsonski.Trace) {
 	}
 }
 
-// line renders the trailer as one NDJSON line.
+// line renders the trailer as one NDJSON line. Truncation is never
+// silent: dropped_events carries the count of movements that fell past
+// the per-record and whole-response caps ("dropped" is the same value
+// under the trailer's original field name, kept for existing parsers).
 func (t *explainTrail) line() []byte {
 	var out struct {
 		Explain struct {
-			Events  []explainEvent `json:"events"`
-			Dropped int            `json:"dropped"`
+			Events        []explainEvent `json:"events"`
+			Dropped       int            `json:"dropped"`
+			DroppedEvents int            `json:"dropped_events"`
 		} `json:"explain"`
 	}
 	out.Explain.Events = t.events
@@ -290,6 +327,7 @@ func (t *explainTrail) line() []byte {
 		out.Explain.Events = []explainEvent{}
 	}
 	out.Explain.Dropped = t.dropped
+	out.Explain.DroppedEvents = t.dropped
 	b, _ := json.Marshal(out)
 	return append(b, '\n')
 }
@@ -310,12 +348,12 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 		return
 	}
 	if ev.single != nil && !ev.explain {
-		s.serveSingleStreaming(w, data, ev)
+		s.serveSingleStreaming(w, r, data, ev)
 		return
 	}
 	var res recResult
 	if !ev.explain && ev.evalIndexed != nil {
-		if ix := s.lookupIndex(data); ix != nil {
+		if ix := s.lookupIndex(telemetry.SpanFromContext(r.Context()), data); ix != nil {
 			res = ev.evalIndexed(ix, 0)
 			ix.Release()
 		} else {
@@ -347,16 +385,27 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, body io.Rea
 // mapped sidecar — masks shared page-cache-wide, zero rebuild even
 // across daemon restarts), then the in-memory index cache (which builds
 // and retains on miss). Returns nil when both tiers are disabled; the
-// caller owns one reference otherwise.
-func (s *Server) lookupIndex(data []byte) *jsonski.Index {
+// caller owns one reference otherwise. On traced requests the lookup is
+// timed as an index.lookup child span tagged with the tier that served
+// it, so a trace distinguishes mask reuse from a rebuild.
+func (s *Server) lookupIndex(rsp *telemetry.Span, data []byte) *jsonski.Index {
+	sp := rsp.StartChild("index.lookup")
+	defer sp.End()
+	sp.SetInt("jsonski.document.bytes", int64(len(data)))
 	if s.catalog != nil {
 		if ix, _ := s.catalog.Get(data); ix != nil {
+			sp.SetString("jsonski.index.tier", "catalog")
 			return ix
 		}
 	}
 	if s.icache != nil {
-		return s.icache.Get(data)
+		ix := s.icache.Get(data)
+		if ix != nil {
+			sp.SetString("jsonski.index.tier", "cache")
+		}
+		return ix
 	}
+	sp.SetString("jsonski.index.tier", "none")
 	return nil
 }
 
@@ -394,8 +443,9 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // still gets a full-status 400 with the partial output discarded;
 // after that the error becomes a trailing NDJSON line, as on the
 // record-stream path.
-func (s *Server) serveSingleStreaming(w http.ResponseWriter, data []byte, ev evaluator) {
-	ix := s.lookupIndex(data)
+func (s *Server) serveSingleStreaming(w http.ResponseWriter, r *http.Request, data []byte, ev evaluator) {
+	rsp := telemetry.SpanFromContext(r.Context())
+	ix := s.lookupIndex(rsp, data)
 	if ix != nil {
 		defer ix.Release()
 	}
@@ -413,11 +463,11 @@ func (s *Server) serveSingleStreaming(w http.ResponseWriter, data []byte, ev eva
 			s.jsonError(w, http.StatusBadRequest, err)
 			return
 		}
-		_ = bw.Flush()
+		s.flushSink(rsp, bw)
 		s.writeErrorLine(w, 0, err)
 		return
 	}
-	_ = bw.Flush()
+	s.flushSink(rsp, bw)
 }
 
 // streamRecords pipelines an NDJSON body through the worker pool with a

@@ -27,6 +27,7 @@ type metrics struct {
 	records        atomic.Int64
 	matches        atomic.Int64
 	engineInBytes  atomic.Int64
+	scannedBytes   atomic.Int64
 	skipped        [fastforward.NumGroups]atomic.Int64
 	recordErrors   atomic.Int64
 	cancelledReads atomic.Int64
@@ -40,15 +41,16 @@ type metrics struct {
 }
 
 // addStats folds one record evaluation into the engine counters. Write
-// order matters for snapshot consistency: input bytes are published
-// before the skipped-byte groups, so a snapshot that reads the groups
-// first (see snapshot) can pair each group with an input total at least
-// as new — derived skip ratios can undershoot briefly but never exceed
-// reality.
+// order matters for snapshot consistency: input and scanned bytes are
+// published before the skipped-byte groups, so a snapshot that reads
+// the groups first (see snapshot) can pair each group with denominator
+// totals at least as new — derived skip ratios can undershoot briefly
+// but never exceed reality.
 func (m *metrics) addStats(st jsonski.Stats) {
 	m.records.Add(1)
 	m.matches.Add(st.Matches)
 	m.engineInBytes.Add(st.InputBytes)
+	m.scannedBytes.Add(st.ScannedBytes())
 	for g, v := range st.SkippedBytes {
 		if v != 0 {
 			m.skipped[g].Add(v)
@@ -104,6 +106,13 @@ type metricsSnapshot struct {
 		SkippedBytes     [5]int64  `json:"skipped_bytes"`
 		FastForwardRatio float64   `json:"fast_forward_ratio"`
 		GroupRatios      []float64 `json:"group_ratios"`
+		// ScannedBytes and SkipRatio sit last in this section per the
+		// append-only field-order rule. ScannedBytes is the complement of
+		// the skipped groups (bytes the engines actually examined);
+		// SkipRatio = skipped / (skipped + scanned), the paper's Table 6
+		// accounting over the two directly-published counters.
+		ScannedBytes int64   `json:"scanned_bytes"`
+		SkipRatio    float64 `json:"skip_ratio"`
 	} `json:"engine"`
 	Cache struct {
 		Hits      int64   `json:"hits"`
@@ -139,10 +148,28 @@ type metricsSnapshot struct {
 		GoVersion string `json:"go_version"`
 		Revision  string `json:"revision,omitempty"`
 		Modified  bool   `json:"modified,omitempty"`
+		// Version sits last in this section per the append-only rule: the
+		// human-readable one-liner the -version flags print, so a metrics
+		// scrape identifies the running build without shell access.
+		Version string `json:"version"`
 	} `json:"build"`
-	// Catalog reports the persistent index catalog (-index-dir). It sits
-	// last per this struct's append-only field-order rule.
+	// Catalog reports the persistent index catalog (-index-dir).
 	Catalog catalogJSON `json:"catalog"`
+	// Trace reports the distributed-tracing pipeline (-trace-endpoint /
+	// -trace-file): span volume by sampling outcome and exporter health.
+	// Counters come from the tracer's own atomics via Tracer.Stats, not
+	// the server metrics struct. It sits last per this struct's
+	// append-only field-order rule.
+	Trace struct {
+		Enabled       bool  `json:"enabled"`
+		SpansStarted  int64 `json:"spans_started"`
+		SpansSampled  int64 `json:"spans_sampled"`
+		SpansForced   int64 `json:"spans_forced"`
+		SpansDropped  int64 `json:"spans_dropped"`
+		SpansExported int64 `json:"spans_exported"`
+		ExportBatches int64 `json:"export_batches"`
+		ExportErrors  int64 `json:"export_errors"`
+	} `json:"trace"`
 }
 
 // catalogJSON is the catalog section of the metrics snapshot and of
@@ -205,6 +232,10 @@ func (s *Server) snapshot() promSnapshot {
 	for g := range s.m.skipped {
 		out.Engine.SkippedBytes[g] = s.m.skipped[g].Load()
 	}
+	// scannedBytes is read after the groups (it is written before them),
+	// so the derived skip ratio's denominator is at least as fresh as its
+	// numerator.
+	out.Engine.ScannedBytes = s.m.scannedBytes.Load()
 	out.Engine.RecordErrors = s.m.recordErrors.Load()
 	out.Engine.Matches = s.m.matches.Load()
 	out.Engine.Records = s.m.records.Load()
@@ -216,8 +247,13 @@ func (s *Server) snapshot() promSnapshot {
 	st.SkippedBytes = out.Engine.SkippedBytes
 	out.Engine.FastForwardRatio = st.FastForwardRatio()
 	out.Engine.GroupRatios = make([]float64, len(st.SkippedBytes))
+	var ffTotal int64
 	for g := range st.SkippedBytes {
 		out.Engine.GroupRatios[g] = st.GroupRatio(g)
+		ffTotal += st.SkippedBytes[g]
+	}
+	if total := ffTotal + out.Engine.ScannedBytes; total > 0 {
+		out.Engine.SkipRatio = float64(ffTotal) / float64(total)
 	}
 
 	out.Requests.Query = s.m.queryRequests.Load()
@@ -269,6 +305,19 @@ func (s *Server) snapshot() promSnapshot {
 	out.Build.GoVersion = b.GoVersion
 	out.Build.Revision = b.Revision
 	out.Build.Modified = b.Modified
+	out.Build.Version = b.Version()
+
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		out.Trace.Enabled = true
+		out.Trace.SpansStarted = ts.Started
+		out.Trace.SpansSampled = ts.Sampled
+		out.Trace.SpansForced = ts.Forced
+		out.Trace.SpansDropped = ts.DroppedSpans
+		out.Trace.SpansExported = ts.ExportedSpans
+		out.Trace.ExportBatches = ts.ExportBatches
+		out.Trace.ExportErrors = ts.ExportErrors
+	}
 	return out
 }
 
@@ -318,6 +367,19 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	}
 	p.Header("jsonski_fast_forward_ratio", "Fraction of engine input bytes fast-forwarded over.", "gauge")
 	p.Value("jsonski_fast_forward_ratio", nil, snap.Engine.FastForwardRatio)
+	// Skip-efficiency cost accounting: the per-group fast-forward charges
+	// (same counters as jsonski_skipped_bytes_total, under the "ff" name
+	// that pairs with the scanned-byte complement below), the scanned
+	// total, and the ratio derived from exactly those two families.
+	p.Header("jsonski_ff_bytes_total", "Bytes fast-forwarded over, by Table 1 charge group G1..G5.", "counter")
+	for g, v := range snap.Engine.SkippedBytes {
+		p.Int("jsonski_ff_bytes_total",
+			[]telemetry.Label{{Name: "group", Value: fastforward.Group(g).String()}}, v)
+	}
+	p.Header("jsonski_scanned_bytes_total", "Bytes the engines examined rather than fast-forwarded over.", "counter")
+	p.Int("jsonski_scanned_bytes_total", nil, snap.Engine.ScannedBytes)
+	p.Header("jsonski_skip_ratio", "Fast-forwarded fraction of all charged bytes: ff / (ff + scanned).", "gauge")
+	p.Value("jsonski_skip_ratio", nil, snap.Engine.SkipRatio)
 	p.Header("jsonski_cancelled_reads_total", "Request bodies abandoned because the client went away.", "counter")
 	p.Int("jsonski_cancelled_reads_total", nil, snap.IO.CancelledReads)
 
@@ -386,6 +448,26 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	p.Header("jsonski_record_duration_seconds", "Single-record evaluation latency.", "histogram")
 	p.Histogram("jsonski_record_duration_seconds", nil, snap.recordLatency)
 
+	p.Header("jsonski_trace_enabled", "Whether distributed tracing is enabled.", "gauge")
+	p.Int("jsonski_trace_enabled", nil, boolGauge(snap.Trace.Enabled))
+	if snap.Trace.Enabled {
+		p.Header("jsonski_trace_spans_total", "Trace spans, by pipeline outcome.", "counter")
+		for _, e := range []struct {
+			ev string
+			v  int64
+		}{
+			{"started", snap.Trace.SpansStarted}, {"sampled", snap.Trace.SpansSampled},
+			{"forced", snap.Trace.SpansForced}, {"dropped", snap.Trace.SpansDropped},
+			{"exported", snap.Trace.SpansExported},
+		} {
+			p.Int("jsonski_trace_spans_total", []telemetry.Label{{Name: "outcome", Value: e.ev}}, e.v)
+		}
+		p.Header("jsonski_trace_export_batches_total", "Span batches handed to the trace sinks.", "counter")
+		p.Int("jsonski_trace_export_batches_total", nil, snap.Trace.ExportBatches)
+		p.Header("jsonski_trace_export_errors_total", "Trace sink writes that failed (POST or file).", "counter")
+		p.Int("jsonski_trace_export_errors_total", nil, snap.Trace.ExportErrors)
+	}
+
 	p.Header("jsonski_uptime_seconds", "Seconds since the server started.", "gauge")
 	p.Value("jsonski_uptime_seconds", nil, snap.UptimeSeconds)
 	b := telemetry.BuildInfo()
@@ -394,6 +476,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		{Name: "go_version", Value: b.GoVersion},
 		{Name: "revision", Value: b.Revision},
 		{Name: "modified", Value: strconv.FormatBool(b.Modified)},
+		{Name: "version", Value: b.Version()},
 	}, 1)
 
 	_ = p.Flush()

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"jsonski"
+	"jsonski/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value picks sensible defaults.
@@ -80,8 +81,16 @@ type Config struct {
 	// request logging entirely (the handlers never format log records).
 	Logger *slog.Logger
 	// SlowQuery, when positive, logs any request slower than this at
-	// Warn level (requires Logger).
+	// Warn level (requires Logger). With tracing enabled it doubles as
+	// the always-sample override: a request that crosses the threshold
+	// exports its trace even when head-based sampling said no.
 	SlowQuery time.Duration
+	// Tracer, when non-nil, enables distributed tracing: every /query
+	// and /multi request gets a root span (continuing an inbound W3C
+	// traceparent when present) with child spans for index lookup,
+	// per-record engine runs, and sink flushes. nil disables tracing;
+	// the request path then pays a single nil check.
+	Tracer *telemetry.Tracer
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
 }
@@ -103,6 +112,7 @@ type Server struct {
 	start   time.Time
 	down    atomic.Bool // readiness: set once shutdown begins
 	log     *slog.Logger
+	tracer  *telemetry.Tracer // nil when tracing is disabled
 }
 
 // New builds a Server and starts its worker pool. It fails only when
@@ -120,12 +130,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: jsonski.NewCache(cfg.CacheSize),
-		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		log:   cfg.Logger,
+		cfg:    cfg,
+		cache:  jsonski.NewCache(cfg.CacheSize),
+		pool:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		log:    cfg.Logger,
+		tracer: cfg.Tracer,
 	}
 	if cfg.IndexCacheBytes >= 0 {
 		s.icache = jsonski.NewIndexCache(cfg.IndexCacheBytes)
@@ -169,10 +180,24 @@ func New(cfg Config) (*Server, error) {
 }
 
 // ServeHTTP implements http.Handler: the mux wrapped with per-request
-// timing, the access log, and the slow-query log.
+// timing, the root span of the request's trace, the access log, and the
+// slow-query log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	evalPath := r.URL.Path == "/query" || r.URL.Path == "/multi"
+	var sp *telemetry.Span
+	if s.tracer != nil && evalPath {
+		// Continue an inbound W3C context when one is present (the
+		// parent's sampling decision wins); mint a fresh trace otherwise.
+		parent, _ := telemetry.ParseTraceparent(
+			r.Header.Get("traceparent"), r.Header.Get("tracestate"))
+		sp = s.tracer.StartRoot(r.Method+" "+r.URL.Path, parent)
+		// Inject before the handler commits the status line so callers
+		// can stitch their client span to ours even on error responses.
+		w.Header().Set("traceparent", sp.Context().Traceparent())
+		r = r.WithContext(telemetry.ContextWithSpan(r.Context(), sp))
+	}
 	s.mux.ServeHTTP(sw, r)
 	dur := time.Since(t0)
 	switch r.URL.Path {
@@ -180,6 +205,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.m.queryLatency.Observe(dur)
 	case "/multi":
 		s.m.multiLatency.Observe(dur)
+	}
+	slow := s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery && evalPath
+	if sp != nil {
+		sp.SetString("http.method", r.Method)
+		sp.SetString("http.route", r.URL.Path)
+		sp.SetInt("http.status_code", int64(sw.status))
+		sp.SetInt("jsonski.queue.capacity", int64(s.pool.queueCap()))
+		if slow {
+			// The always-sample override: slow requests export their
+			// trace even when the head-based decision said no.
+			sp.SetBool("jsonski.slow_query", true)
+			sp.ForceSample()
+		}
+		sp.End()
 	}
 	if s.log == nil {
 		return
@@ -192,8 +231,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"duration", dur,
 		"remote", r.RemoteAddr,
 	}
-	if s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery &&
-		(r.URL.Path == "/query" || r.URL.Path == "/multi") {
+	if sp != nil {
+		attrs = append(attrs, "trace_id", sp.Context().TraceID.String())
+	}
+	if slow {
 		s.log.Warn("slow query", attrs...)
 	} else {
 		s.log.Info("request", attrs...)

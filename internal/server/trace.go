@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bufio"
+
+	"jsonski"
+	"jsonski/internal/fastforward"
+	"jsonski/internal/telemetry"
+)
+
+// spanTraceEvents caps the fast-forward movements lifted onto one
+// engine span of a sampled request. It is deliberately smaller than the
+// explain-trailer caps: spans travel to a collector per request, while
+// explain output is an opt-in debugging surface.
+const spanTraceEvents = 64
+
+// finishEngineSpan annotates one record evaluation's span with the
+// paper's cost accounting — matches, input vs scanned bytes, and the
+// per-group fast-forward charges of Table 1 — plus the movement log
+// when the run recorded one, then ends the span. The span (possibly
+// nil: unsampled request) is consumed; callers must not touch it after.
+func (s *Server) finishEngineSpan(sp *telemetry.Span, idx int, st jsonski.Stats, err error) {
+	if !sp.Recording() {
+		return
+	}
+	sp.SetInt("jsonski.record", int64(idx))
+	sp.SetInt("jsonski.matches", st.Matches)
+	sp.SetInt("jsonski.input.bytes", st.InputBytes)
+	sp.SetInt("jsonski.scanned.bytes", st.ScannedBytes())
+	for g, v := range st.SkippedBytes {
+		sp.SetInt("jsonski.ff.bytes."+fastforward.Group(g).String(), v)
+	}
+	sp.SetFloat("jsonski.skip.ratio", st.FastForwardRatio())
+	if tr := st.Trace(); tr != nil {
+		// Movement events are lifted after the run (the hot loop only
+		// appends to the bounded internal log), so event timestamps are
+		// span-relative in ordering, not wall-accurate per movement.
+		for _, e := range tr.Events {
+			sp.AddEvent(e.Func,
+				telemetry.String("group", e.Group),
+				telemetry.Int("start", int64(e.Start)),
+				telemetry.Int("bytes", int64(e.Bytes)))
+		}
+		if tr.Dropped > 0 {
+			sp.SetInt("jsonski.trace.dropped_events", int64(tr.Dropped))
+		}
+	}
+	sp.SetError(err)
+	sp.End()
+}
+
+// flushSink flushes the buffered response writer under a sink.flush
+// child span, so a trace shows how much of a request's latency was the
+// client draining output rather than the engine producing it.
+func (s *Server) flushSink(rsp *telemetry.Span, bw *bufio.Writer) {
+	sp := rsp.StartChild("sink.flush")
+	defer sp.End()
+	err := bw.Flush()
+	sp.SetError(err)
+}

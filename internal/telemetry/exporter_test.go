@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// goldenSpans builds a fixed two-span trace — every field populated,
+// IDs and times pinned — so the encoder's output is byte-reproducible.
+func goldenSpans() []*Span {
+	traceID := TraceID{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36}
+	rootID := SpanID{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7}
+	childID := SpanID{0x53, 0x99, 0x5c, 0x3f, 0x42, 0xcd, 0x8a, 0xd8}
+	callerID := SpanID{0xb7, 0xad, 0x6b, 0x71, 0x69, 0x20, 0x33, 0x31}
+	set := &spanSet{} // non-nil so attribute setters record
+	child := &Span{
+		set:    set,
+		name:   "engine.run",
+		ctx:    SpanContext{TraceID: traceID, SpanID: childID, Sampled: true},
+		parent: rootID,
+		start:  time.Unix(1700000000, 100).UTC(),
+		end:    time.Unix(1700000000, 2500).UTC(),
+	}
+	child.SetInt("jsonski.matches", 3)
+	child.SetInt("jsonski.ff.bytes.G1", 4096)
+	child.SetInt("jsonski.scanned.bytes", 512)
+	child.SetFloat("jsonski.skip.ratio", 0.889)
+	child.SetBool("jsonski.indexed", false)
+	child.events = []SpanEvent{{
+		Name:  "GoOverObj",
+		Time:  time.Unix(1700000000, 700).UTC(),
+		Attrs: []Attr{String("group", "G2"), Int("bytes", 128)},
+	}}
+	child.droppedEvents = 2
+	child.SetError(errors.New("record 1: bare value"))
+	root := &Span{
+		set:    set,
+		name:   "POST /query",
+		ctx:    SpanContext{TraceID: traceID, SpanID: rootID, Sampled: true, State: "vendor=x"},
+		parent: callerID,
+		root:   true,
+		start:  time.Unix(1700000000, 0).UTC(),
+		end:    time.Unix(1700000000, 5000).UTC(),
+	}
+	root.SetString("http.route", "/query")
+	root.SetInt("http.status_code", 200)
+	return []*Span{child, root}
+}
+
+// TestExporterGolden pins the OTLP/JSON wire format against a
+// checked-in fixture: any drift in field names, ID rendering, or the
+// stringified int64 convention fails here before a collector sees it.
+// Regenerate deliberately with UPDATE_OTLP_GOLDEN=1.
+func TestExporterGolden(t *testing.T) {
+	got := EncodeOTLP(goldenSpans(), "jsonskid")
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, got, "", "  "); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+	pretty.WriteByte('\n')
+	golden := filepath.Join("testdata", "otlp_golden.json")
+	if os.Getenv("UPDATE_OTLP_GOLDEN") != "" {
+		if err := os.WriteFile(golden, pretty.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v (regenerate with UPDATE_OTLP_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(pretty.Bytes(), want) {
+		t.Fatalf("OTLP encoding drifted from %s.\ngot:\n%s\nwant:\n%s", golden, pretty.Bytes(), want)
+	}
+}
+
+func TestExporterHTTPAndFileSinks(t *testing.T) {
+	var gotBody atomic.Pointer[[]byte]
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/traces" {
+			t.Errorf("POST path %s", r.URL.Path)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %s", ct)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r.Body)
+		b := buf.Bytes()
+		gotBody.Store(&b)
+	}))
+	defer srv.Close()
+
+	tr := NewTracer(TracerConfig{SampleRatio: 1})
+	file := filepath.Join(t.TempDir(), "trace.ndjson")
+	// Endpoint without a path: /v1/traces must be appended.
+	exp, err := NewExporter(tr, ExporterConfig{
+		Endpoint: srv.URL,
+		FilePath: file,
+		Service:  "jsonskid-test",
+		Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := tr.StartRoot("POST /query", SpanContext{})
+	child := root.StartChild("engine.run")
+	child.SetInt("jsonski.matches", 1)
+	child.End()
+	root.End()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for gotBody.Load() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	body := gotBody.Load()
+	if body == nil {
+		t.Fatal("collector never received a POST")
+	}
+	var export struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(*body, &export); err != nil {
+		t.Fatalf("collector body is not OTLP/JSON: %v", err)
+	}
+	if len(export.ResourceSpans) != 1 {
+		t.Fatalf("resourceSpans: %d", len(export.ResourceSpans))
+	}
+	ra := export.ResourceSpans[0].Resource.Attributes
+	if len(ra) != 1 || ra[0].Key != "service.name" || ra[0].Value.StringValue != "jsonskid-test" {
+		t.Fatalf("resource attributes: %+v", ra)
+	}
+	spans := export.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans", len(spans))
+	}
+
+	// File sink: one span object per line, same trace.
+	nd, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(nd)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file sink has %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var sp struct {
+			TraceID string `json:"traceId"`
+		}
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("file line %q: %v", line, err)
+		}
+		if sp.TraceID != spans[0].TraceID {
+			t.Fatalf("file trace %s != POST trace %s", sp.TraceID, spans[0].TraceID)
+		}
+	}
+
+	st := tr.Stats()
+	if st.ExportedSpans != 2 || st.ExportBatches == 0 || st.ExportErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestExporterStalledEndpointNeverBlocksProducers pins the tentpole's
+// core promise: with the collector hung, producing goroutines keep
+// finishing instantly (the ring drops), the exporter's POSTs time out
+// and count as errors, and Close returns promptly.
+func TestExporterStalledEndpointNeverBlocksProducers(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // stall every POST
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	tr := NewTracer(TracerConfig{SampleRatio: 1, RingSize: 8})
+	exp, err := NewExporter(tr, ExporterConfig{
+		Endpoint:  srv.URL,
+		Interval:  time.Millisecond,
+		Timeout:   50 * time.Millisecond,
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		root := tr.StartRoot("req", SpanContext{})
+		root.StartChild("engine.run").End()
+		root.End()
+	}
+	if produceTime := time.Since(start); produceTime > 2*time.Second {
+		t.Fatalf("producers took %v with a stalled collector", produceTime)
+	}
+	st := tr.Stats()
+	if st.DroppedSpans == 0 {
+		t.Fatal("full ring did not drop")
+	}
+
+	closeStart := time.Now()
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(closeStart); d > 5*time.Second {
+		t.Fatalf("Close took %v against a stalled collector", d)
+	}
+	if st := tr.Stats(); st.ExportErrors == 0 {
+		t.Fatal("stalled POSTs were not counted as errors")
+	}
+}
+
+func TestExporterConfigValidation(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	if _, err := NewExporter(tr, ExporterConfig{}); err == nil {
+		t.Fatal("sinkless exporter accepted")
+	}
+	if _, err := NewExporter(tr, ExporterConfig{Endpoint: "::bad::"}); err == nil {
+		t.Fatal("unparseable endpoint accepted")
+	}
+	if _, err := NewExporter(tr, ExporterConfig{FilePath: filepath.Join(t.TempDir(), "no", "such", "dir", "f")}); err == nil {
+		t.Fatal("unwritable file path accepted")
+	}
+}

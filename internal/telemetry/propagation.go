@@ -1,0 +1,93 @@
+package telemetry
+
+import "encoding/hex"
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) header
+// handling. The wire form is
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             │  │                                │                │
+//	             │  └ 16-byte trace ID               └ 8-byte span ID └ flags
+//	             └ version
+//
+// plus an opaque, vendor-keyed tracestate header this process forwards
+// verbatim (bounded) and never edits.
+
+// maxTracestate bounds the tracestate passthrough; a header past the
+// cap is discarded whole, per the spec's guidance that a mutilated
+// tracestate is worse than none.
+const maxTracestate = 512
+
+// ParseTraceparent extracts a span context from traceparent/tracestate
+// header values. It returns ok=false — and the zero context — on any
+// malformed input: wrong field sizes, non-hex digits, the reserved
+// version ff, or all-zero IDs. Future versions (anything other than ff)
+// are accepted by reading the version-00 prefix, as the spec requires.
+func ParseTraceparent(traceparent, tracestate string) (SpanContext, bool) {
+	// version "-" traceid "-" spanid "-" flags = 2+1+32+1+16+1+2 = 55.
+	if len(traceparent) < 55 {
+		return SpanContext{}, false
+	}
+	if traceparent[2] != '-' || traceparent[35] != '-' || traceparent[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok := hexByte(traceparent[0:2])
+	if !ok || ver == 0xff {
+		return SpanContext{}, false
+	}
+	if ver == 0 && len(traceparent) != 55 {
+		return SpanContext{}, false
+	}
+	if len(traceparent) > 55 && traceparent[55] != '-' {
+		return SpanContext{}, false
+	}
+	var c SpanContext
+	if _, err := hex.Decode(c.TraceID[:], []byte(traceparent[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(c.SpanID[:], []byte(traceparent[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	flags, ok := hexByte(traceparent[53:55])
+	if !ok || !c.IsValid() {
+		return SpanContext{}, false
+	}
+	c.Sampled = flags&1 != 0
+	if len(tracestate) <= maxTracestate {
+		c.State = tracestate
+	}
+	return c, true
+}
+
+// Traceparent renders the context as a version-00 traceparent value,
+// suitable for response-header injection and outbound requests.
+func (c SpanContext) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = appendHex(b, c.TraceID[:])
+	b = append(b, '-')
+	b = appendHex(b, c.SpanID[:])
+	if c.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+func appendHex(dst, src []byte) []byte {
+	const digits = "0123456789abcdef"
+	for _, v := range src {
+		dst = append(dst, digits[v>>4], digits[v&0xf])
+	}
+	return dst
+}
+
+// hexByte decodes exactly two lowercase-or-uppercase hex digits.
+func hexByte(s string) (byte, bool) {
+	var out [1]byte
+	if _, err := hex.Decode(out[:], []byte(s)); err != nil {
+		return 0, false
+	}
+	return out[0], true
+}

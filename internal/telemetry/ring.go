@@ -1,0 +1,86 @@
+package telemetry
+
+import "sync/atomic"
+
+// ring is a bounded lock-free MPMC queue (Vyukov's array queue): each
+// slot carries a sequence number that tickets producers and consumers,
+// so an enqueue is one CAS plus two slot operations and a full ring
+// fails fast instead of blocking. Producers are request goroutines
+// flushing a finished trace; the consumer is the background exporter.
+// Drop-on-full is the contract: the hot path never waits for the
+// exporter, whatever state its endpoint is in.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	sp  *Span
+}
+
+// newRing builds a ring with capacity rounded up to a power of two.
+func newRing(size int) *ring {
+	cap := uint64(2)
+	for cap < uint64(size) {
+		cap <<= 1
+	}
+	r := &ring{mask: cap - 1, slots: make([]ringSlot, cap)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// TryPush enqueues sp, or reports false when the ring is full.
+func (r *ring) TryPush(sp *Span) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.sp = sp
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// The slot still holds an unconsumed element a full lap
+			// behind: the ring is full.
+			return false
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryPop dequeues the oldest span, or reports false when the ring is
+// empty.
+func (r *ring) TryPop() (*Span, bool) {
+	pos := r.deq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				sp := slot.sp
+				slot.sp = nil
+				slot.seq.Store(pos + r.mask + 1)
+				return sp, true
+			}
+			pos = r.deq.Load()
+		case seq <= pos:
+			return nil, false
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Cap returns the ring's capacity.
+func (r *ring) Cap() int { return len(r.slots) }

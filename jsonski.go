@@ -103,6 +103,21 @@ func (s Stats) GroupRatio(g int) float64 {
 	return float64(s.SkippedBytes[g]) / float64(s.InputBytes)
 }
 
+// ScannedBytes is the complement of the fast-forward accounting: the
+// bytes the engine actually examined (input minus every group's skips).
+// InputBytes == ScannedBytes + sum(SkippedBytes) — each input byte is
+// either charged to a Table 1 group or was scanned. Clamped at zero.
+func (s Stats) ScannedBytes() int64 {
+	n := s.InputBytes
+	for _, v := range s.SkippedBytes {
+		n -= v
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 func (s *Stats) add(st core.Stats) {
 	s.Matches += st.Matches
 	s.InputBytes += st.InputBytes

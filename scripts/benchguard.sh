@@ -10,7 +10,12 @@
 #                                 telemetry contract)
 #   BenchmarkRunLargeSinkStream — the zero-copy streaming-sink output
 #                                 path (the sink layer must not tax the
-#                                 per-match emit)
+#                                 per-match emit). Also the
+#                                 tracing-disabled gate: RunSink is what
+#                                 jsonskid's /query path runs for
+#                                 unsampled requests, so the tracing
+#                                 layer when off (one nil check, DESIGN
+#                                 §5g) must keep it within the limit
 #   BenchmarkRunFilterSkip      — the skip-eligible filter probe plan
 #                                 (mini child-chain DFA probes over
 #                                 candidate spans)

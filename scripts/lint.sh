@@ -3,8 +3,8 @@
 #
 #   go vet        over both workspace modules (the library and tools/lint)
 #   jsonskilint   the custom invariant analyzers (poolpair, spanretain,
-#                 chargesite, atomicpair, tracenil, mapownership; see
-#                 DESIGN §5d)
+#                 chargesite, atomicpair, tracenil, spanend,
+#                 mapownership; see DESIGN §5d)
 #   staticcheck   over the whole tree (CI pins the version; locally the
 #                 step is skipped with a warning when not installed)
 #   shellcheck    over scripts/*.sh (same skip rule)

@@ -12,6 +12,7 @@
 //	atomicpair   — server metric atomics are read only in snapshot(),
 //	               and every counter reaches both metric expositions
 //	tracenil     — trace hooks stay behind a nil check
+//	spanend      — started telemetry spans reach End() on every path
 //	mapownership — bitmap rows of a possibly store-mapped Index are
 //	               never written through or handed to a sync.Pool
 //
@@ -30,6 +31,7 @@ import (
 	"jsonski/tools/lint/passes/chargesite"
 	"jsonski/tools/lint/passes/mapownership"
 	"jsonski/tools/lint/passes/poolpair"
+	"jsonski/tools/lint/passes/spanend"
 	"jsonski/tools/lint/passes/spanretain"
 	"jsonski/tools/lint/passes/tracenil"
 )
@@ -40,6 +42,7 @@ var all = []*analysis.Analyzer{
 	chargesite.Analyzer,
 	atomicpair.Analyzer,
 	tracenil.Analyzer,
+	spanend.Analyzer,
 	mapownership.Analyzer,
 }
 

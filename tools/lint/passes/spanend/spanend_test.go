@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer)
+}

@@ -1,0 +1,45 @@
+package bad
+
+import "fix/telemetry"
+
+var tracer = &telemetry.Tracer{}
+
+func neverEnded() {
+	sp := tracer.StartRoot("q", telemetry.SpanContext{}) // want `never reaches End`
+	sp.SetInt("k", 1)
+}
+
+func droppedInline() {
+	tracer.StartRoot("q", telemetry.SpanContext{}) // want `dropped without an End`
+}
+
+func droppedChained() telemetry.SpanContext {
+	return tracer.StartRoot("q", telemetry.SpanContext{}).Context() // want `dropped without an End`
+}
+
+func earlyReturn(fail bool) {
+	sp := tracer.StartRoot("q", telemetry.SpanContext{})
+	if fail {
+		return // want `end it with defer`
+	}
+	sp.End()
+}
+
+func childNeverEnded(root *telemetry.Span) {
+	sp := root.StartChild("engine.run") // want `never reaches End`
+	sp.SetString("k", "v")
+}
+
+func leakThroughAlias() {
+	sp := tracer.StartRoot("q", telemetry.SpanContext{}) // want `never reaches End`
+	alias := sp
+	alias.SetInt("k", 1)
+}
+
+func closureStartLeaks() {
+	fn := func() {
+		sp := tracer.StartRoot("q", telemetry.SpanContext{}) // want `never reaches End`
+		sp.SetInt("k", 1)
+	}
+	fn()
+}

@@ -1,0 +1,18 @@
+// Package telemetry (fixture): the span shape the analyzer keys on — a
+// named Span whose pointer method set has End and StartChild.
+package telemetry
+
+type SpanContext struct{ sampled bool }
+
+type Span struct{ ended bool }
+
+func (s *Span) End()                         { s.ended = true }
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+func (s *Span) SetInt(key string, v int64)   {}
+func (s *Span) SetString(key, v string)      {}
+func (s *Span) Recording() bool              { return s != nil }
+func (s *Span) Context() SpanContext         { return SpanContext{} }
+
+type Tracer struct{}
+
+func (t *Tracer) StartRoot(name string, parent SpanContext) *Span { return &Span{} }
