@@ -3,7 +3,7 @@
 # ./...` from the root does not cross the nested module boundary, so the
 # targets below spell both out.
 
-.PHONY: all build test race lint
+.PHONY: all build test race lint fuzz-smoke
 
 all: build test lint
 
@@ -21,3 +21,16 @@ race:
 
 lint:
 	./scripts/lint.sh
+
+# fuzz-smoke mirrors the CI fuzz-smoke job: a short budget per native
+# fuzz target, enough to replay the seed corpus and catch shallow
+# regressions locally. Override with FUZZTIME=60s for longer runs.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzValidate$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzCompileJSONPath$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzOnDemandDifferential$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzStoreRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/store

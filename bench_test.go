@@ -777,3 +777,88 @@ func BenchmarkRunFilterFullParse(b *testing.B) {
 		}
 	}
 }
+
+// ondemandBenchDoc builds the fixture for the on-demand navigation
+// benchmarks: a wide header object, `n` sibling item objects, and a
+// trailing payload, so a single-field lookup has realistic clutter to
+// fast-forward over on both sides of the target.
+func ondemandBenchDoc(n int) []byte {
+	var buf []byte
+	buf = append(buf, `{"header": {"version": 3, "source": "bench", "flags": [true, false, true]}, "items": [`...)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = append(buf, fmt.Sprintf(
+			`{"sku": "SKU-%04d", "qty": %d, "price": %d.%02d, "tags": ["a", "b"], "desc": "item number %d with some padding text"}`,
+			i, i%17, i*3+1, i%100, i)...)
+	}
+	buf = append(buf, `], "trailer": {"checksum": "0123456789abcdef", "pad": "`...)
+	for i := 0; i < 64; i++ {
+		buf = append(buf, "xxxxxxxx"...)
+	}
+	buf = append(buf, `"}}`...)
+	return buf
+}
+
+// BenchmarkOnDemandGet is a bench-guard target (scripts/benchguard.sh,
+// +2%): one lazy single-field lookup per iteration over a prebuilt
+// structural index, reusing the Document across records the way
+// jsonskid's /doc endpoint does. Steady state must stay allocation-free
+// on the hop path (TestOnDemandGetAllocs pins the <=2 allocs/op
+// budget; ReportAllocs here makes drift visible in bench output too).
+func BenchmarkOnDemandGet(b *testing.B) {
+	data := ondemandBenchDoc(256)
+	ix := jsonski.BuildIndex(data)
+	d := jsonski.OpenIndexed(ix)
+	// Warm up once: frame-stack growth happens on the first pass.
+	if _, err := d.Lookup("items", "200", "qty").Raw(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ResetIndexed(ix)
+		raw, err := d.Lookup("items", "200", "qty").Raw()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		_ = raw
+	}
+}
+
+// BenchmarkOnDemandUnmarshal measures the escape hatch from lazy
+// navigation into encoding/json: hop to one item object, then decode
+// just that span into a struct. The hops are still G1-G5 movements;
+// only the target span pays DOM-decode cost.
+func BenchmarkOnDemandUnmarshal(b *testing.B) {
+	type item struct {
+		SKU   string   `json:"sku"`
+		Qty   int      `json:"qty"`
+		Price float64  `json:"price"`
+		Tags  []string `json:"tags"`
+	}
+	data := ondemandBenchDoc(256)
+	ix := jsonski.BuildIndex(data)
+	d := jsonski.OpenIndexed(ix)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ResetIndexed(ix)
+		var it item
+		if err := d.Lookup("items", "200").Unmarshal(&it); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if it.Qty != 200%17 {
+			b.Fatalf("qty = %d", it.Qty)
+		}
+	}
+}

@@ -25,6 +25,14 @@
 //	jsonski -q '$.b' -load-index file.jski
 //	jsonski -q '$.v' -records -save-index corpus.jski corpus.ndjson
 //	jsonski -q '$.v' -records -load-index corpus.jski
+//
+// -get navigates a single document on demand instead of compiling a
+// query: a dot path like 'store.book[2].title' hops straight to one
+// value with the same fast-forward movements, printing its raw span.
+// It composes with -stats, -explain, and -load-index:
+//
+//	jsonski -get 'store.book[2].title' file.json
+//	jsonski -get 'store.book[2].title' -explain -load-index file.jski
 package main
 
 import (
@@ -47,7 +55,8 @@ import (
 
 func main() {
 	var (
-		query   = flag.String("q", "", "JSONPath query (required), e.g. '$.store.book[0:2].title'")
+		query   = flag.String("q", "", "JSONPath query, e.g. '$.store.book[0:2].title'")
+		get     = flag.String("get", "", "on-demand dot path, e.g. 'store.book[2].title' (single document; instead of -q)")
 		count   = flag.Bool("count", false, "print only the number of matches")
 		stats   = flag.Bool("stats", false, "print fast-forward statistics to stderr")
 		records = flag.Bool("records", false, "input is newline-delimited JSON records")
@@ -64,15 +73,27 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *query, *count, *stats, *records, *workers, *explain, *saveIx, *loadIx, flag.Args()); err != nil {
+	if err := run(ctx, *query, *get, *count, *stats, *records, *workers, *explain, *saveIx, *loadIx, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonski:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, query string, countOnly, showStats, records bool, workers int, explain bool, saveIx, loadIx string, args []string) error {
+func run(ctx context.Context, query, get string, countOnly, showStats, records bool, workers int, explain bool, saveIx, loadIx string, args []string) error {
+	if get != "" {
+		if query != "" {
+			return fmt.Errorf("-q and -get are mutually exclusive")
+		}
+		if records {
+			return fmt.Errorf("-get navigates a single document; drop -records")
+		}
+		if saveIx != "" {
+			return fmt.Errorf("-get does not persist indexes; use -q with -save-index first, then -get with -load-index")
+		}
+		return runGet(ctx, get, showStats, explain, loadIx, args)
+	}
 	if query == "" {
-		return fmt.Errorf("missing -q query")
+		return fmt.Errorf("missing -q query (or -get path)")
 	}
 	if explain && records {
 		return fmt.Errorf("-explain applies to single documents; drop -records or explain one record at a time")
@@ -169,24 +190,7 @@ func run(ctx context.Context, query string, countOnly, showStats, records bool, 
 		tr.Dump(os.Stderr)
 	}
 	if showStats {
-		fmt.Fprintf(os.Stderr, "matches: %d\n", st.Matches)
-		fmt.Fprintf(os.Stderr, "input: %d bytes in %v (%.0f MB/s)\n",
-			st.InputBytes, elapsed, float64(st.InputBytes)/elapsed.Seconds()/1e6)
-		fmt.Fprintf(os.Stderr, "fast-forwarded: %.2f%% of input\n", st.FastForwardRatio()*100)
-		for g := 0; g < 5; g++ {
-			fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%  (%d bytes)\n", g+1, st.GroupRatio(g)*100, st.SkippedBytes[g])
-		}
-		scanned := st.ScannedBytes()
-		skipped := st.InputBytes - scanned
-		skipRatio := 0.0
-		if st.InputBytes > 0 {
-			skipRatio = float64(skipped) / float64(st.InputBytes)
-		}
-		fmt.Fprintf(os.Stderr, "scanned: %d bytes, skip ratio %.4f\n", scanned, skipRatio)
-		if lat := st.Latency(); lat != nil {
-			fmt.Fprintf(os.Stderr, "record latency: p50 %v  p90 %v  p99 %v  max %v (%d records)\n",
-				lat.P50(), lat.P90(), lat.P99(), lat.Max(), lat.Count)
-		}
+		printStats(st, elapsed)
 	}
 	if err := out.Flush(); err != nil {
 		return fmt.Errorf("writing output: %w", err)
@@ -246,4 +250,92 @@ func runIndexed(q *jsonski.Query, ix *jsonski.Index, spans []jsonski.Span, recor
 		}
 	}
 	return total, nil
+}
+
+// printStats renders the fast-forward accounting block to stderr, shared
+// by the query and -get paths.
+func printStats(st jsonski.Stats, elapsed time.Duration) {
+	fmt.Fprintf(os.Stderr, "matches: %d\n", st.Matches)
+	fmt.Fprintf(os.Stderr, "input: %d bytes in %v (%.0f MB/s)\n",
+		st.InputBytes, elapsed, float64(st.InputBytes)/elapsed.Seconds()/1e6)
+	fmt.Fprintf(os.Stderr, "fast-forwarded: %.2f%% of input\n", st.FastForwardRatio()*100)
+	for g := 0; g < 5; g++ {
+		fmt.Fprintf(os.Stderr, "  G%d: %6.2f%%  (%d bytes)\n", g+1, st.GroupRatio(g)*100, st.SkippedBytes[g])
+	}
+	scanned := st.ScannedBytes()
+	skipped := st.InputBytes - scanned
+	skipRatio := 0.0
+	if st.InputBytes > 0 {
+		skipRatio = float64(skipped) / float64(st.InputBytes)
+	}
+	fmt.Fprintf(os.Stderr, "scanned: %d bytes, skip ratio %.4f\n", scanned, skipRatio)
+	if lat := st.Latency(); lat != nil {
+		fmt.Fprintf(os.Stderr, "record latency: p50 %v  p90 %v  p99 %v  max %v (%d records)\n",
+			lat.P50(), lat.P90(), lat.P99(), lat.Max(), lat.Count)
+	}
+}
+
+// runGet evaluates an on-demand dot path over a single document: the
+// lazy Document API hops straight to the target with the same
+// fast-forward movements a compiled query would use, so the rest of the
+// record is skipped, never parsed.
+func runGet(ctx context.Context, path string, showStats, explain bool, loadIx string, args []string) error {
+	segs, err := jsonski.ParseDotPath(path)
+	if err != nil {
+		return err
+	}
+	var doc *jsonski.Document
+	start := time.Now()
+	if loadIx != "" {
+		if len(args) > 0 {
+			return fmt.Errorf("-load-index evaluates the document embedded in the sidecar; drop the input file")
+		}
+		ix, _, err := jsonski.LoadIndex(loadIx)
+		if err != nil {
+			return err
+		}
+		defer ix.Release()
+		doc = jsonski.OpenIndexed(ix)
+	} else {
+		var in io.Reader = os.Stdin
+		if len(args) == 1 {
+			f, err := os.Open(args[0])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		} else if len(args) > 1 {
+			return fmt.Errorf("expected at most one input file, got %d", len(args))
+		}
+		data, err := io.ReadAll(bufio.NewReader(in))
+		if err != nil {
+			return fmt.Errorf("reading input: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		doc = jsonski.Open(data)
+	}
+	if explain {
+		doc.Explain(0)
+	}
+	raw, err := doc.Lookup(segs...).Raw()
+	if err != nil {
+		return fmt.Errorf("get %s: %w", path, err)
+	}
+	if err := doc.Close(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	os.Stdout.Write(raw)
+	os.Stdout.Write([]byte{'\n'})
+	st := doc.Stats()
+	if tr := st.Trace(); tr != nil {
+		tr.Dump(os.Stderr)
+	}
+	if showStats {
+		printStats(st, elapsed)
+	}
+	return nil
 }

@@ -16,19 +16,19 @@ func TestRunOnFile(t *testing.T) {
 	if err := os.WriteFile(f, []byte(`{"a": {"b": 7}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, "$.a.b", true, true, false, 1, false, "", "", []string{f}); err != nil {
+	if err := run(ctx, "$.a.b", "", true, true, false, 1, false, "", "", []string{f}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, "", false, false, false, 1, false, "", "", []string{f}); err == nil {
+	if err := run(ctx, "", "", false, false, false, 1, false, "", "", []string{f}); err == nil {
 		t.Fatal("missing query should error")
 	}
-	if err := run(ctx, "$..", false, false, false, 1, false, "", "", []string{f}); err == nil {
+	if err := run(ctx, "$..", "", false, false, false, 1, false, "", "", []string{f}); err == nil {
 		t.Fatal("bad query should error")
 	}
-	if err := run(ctx, "$.a", false, false, false, 1, false, "", "", []string{f, f}); err == nil {
+	if err := run(ctx, "$.a", "", false, false, false, 1, false, "", "", []string{f, f}); err == nil {
 		t.Fatal("two files should error")
 	}
-	if err := run(ctx, "$.a", false, false, false, 1, false, "", "", []string{filepath.Join(dir, "missing.json")}); err == nil {
+	if err := run(ctx, "$.a", "", false, false, false, 1, false, "", "", []string{filepath.Join(dir, "missing.json")}); err == nil {
 		t.Fatal("missing file should error")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunRecordsMode(t *testing.T) {
 	if err := os.WriteFile(f, []byte("{\"v\":1}\n\n{\"v\":2}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "$.v", true, false, true, 0, false, "", "", []string{f}); err != nil {
+	if err := run(context.Background(), "$.v", "", true, false, true, 0, false, "", "", []string{f}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,7 +51,7 @@ func TestRunMalformedInputFails(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"a": {"b": `), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(ctx, "$.a.b", false, false, false, 1, false, "", "", []string{bad})
+	err := run(ctx, "$.a.b", "", false, false, false, 1, false, "", "", []string{bad})
 	if err == nil || !strings.Contains(err.Error(), "query failed") {
 		t.Fatalf("malformed JSON should fail clearly, got %v", err)
 	}
@@ -66,7 +66,7 @@ func TestRunRecordsMalformedRecordNamesRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Serial so the failing record is deterministic.
-	err := run(ctx, "$.v.x", false, false, true, 1, false, "", "", []string{f})
+	err := run(ctx, "$.v.x", "", false, false, true, 1, false, "", "", []string{f})
 	if err == nil || !strings.Contains(err.Error(), "record 1:") {
 		t.Fatalf("err = %v", err)
 	}
@@ -81,27 +81,27 @@ func TestRunSaveLoadIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Save evaluates and persists; load evaluates the embedded document.
-	if err := run(ctx, "$.a.b", true, false, false, 1, false, side, "", []string{f}); err != nil {
+	if err := run(ctx, "$.a.b", "", true, false, false, 1, false, side, "", []string{f}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(side); err != nil {
 		t.Fatalf("sidecar not written: %v", err)
 	}
-	if err := run(ctx, "$.a.b", true, false, false, 1, false, "", side, nil); err != nil {
+	if err := run(ctx, "$.a.b", "", true, false, false, 1, false, "", side, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	// Flag validation.
-	if err := run(ctx, "$.a", false, false, false, 1, false, side, side, nil); err == nil {
+	if err := run(ctx, "$.a", "", false, false, false, 1, false, side, side, nil); err == nil {
 		t.Fatal("save+load together should error")
 	}
-	if err := run(ctx, "$.a", false, false, false, 1, true, side, "", []string{f}); err == nil {
+	if err := run(ctx, "$.a", "", false, false, false, 1, true, side, "", []string{f}); err == nil {
 		t.Fatal("explain with save-index should error")
 	}
-	if err := run(ctx, "$.a", false, false, false, 1, false, "", side, []string{f}); err == nil {
+	if err := run(ctx, "$.a", "", false, false, false, 1, false, "", side, []string{f}); err == nil {
 		t.Fatal("load-index with input file should error")
 	}
-	if err := run(ctx, "$.a", false, false, false, 1, false, "", filepath.Join(dir, "missing.jski"), nil); err == nil {
+	if err := run(ctx, "$.a", "", false, false, false, 1, false, "", filepath.Join(dir, "missing.jski"), nil); err == nil {
 		t.Fatal("missing sidecar should error")
 	}
 }
@@ -114,10 +114,10 @@ func TestRunSaveLoadIndexRecords(t *testing.T) {
 	if err := os.WriteFile(f, []byte("{\"v\":1}\n\n{\"v\":2}\n{\"v\":3}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, "$.v", true, true, true, 1, false, side, "", []string{f}); err != nil {
+	if err := run(ctx, "$.v", "", true, true, true, 1, false, side, "", []string{f}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, "$.v", true, true, true, 1, false, "", side, nil); err != nil {
+	if err := run(ctx, "$.v", "", true, true, true, 1, false, "", side, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -130,7 +130,7 @@ func TestRunCancelledContext(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, "$.v", false, false, true, 1, false, "", "", []string{f})
+	err := run(ctx, "$.v", "", false, false, true, 1, false, "", "", []string{f})
 	if err == nil || !strings.Contains(err.Error(), "interrupted") {
 		t.Fatalf("err = %v", err)
 	}
@@ -138,5 +138,46 @@ func TestRunCancelledContext(t *testing.T) {
 		// run wraps cancellation into a user-facing message; the cause
 		// should no longer leak as a bare context error string.
 		t.Log("cancellation cause preserved:", err)
+	}
+}
+
+func TestRunGet(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	f := filepath.Join(dir, "in.json")
+	side := filepath.Join(dir, "in.jski")
+	if err := os.WriteFile(f, []byte(`{"a": {"b": [10, 20, 30]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, "", "a.b[2]", false, true, false, 1, false, "", "", []string{f}); err != nil {
+		t.Fatal(err)
+	}
+	// explain composes with -get
+	if err := run(ctx, "", "a.b[0]", false, false, false, 1, true, "", "", []string{f}); err != nil {
+		t.Fatal(err)
+	}
+	// -get over a sidecar index
+	if err := run(ctx, "$.a.b", "", true, false, false, 1, false, side, "", []string{f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, "", "a.b[1]", false, false, false, 1, false, "", side, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// flag validation and navigation failures
+	if err := run(ctx, "$.a", "a.b", false, false, false, 1, false, "", "", []string{f}); err == nil {
+		t.Fatal("-q with -get should error")
+	}
+	if err := run(ctx, "", "a.b", false, false, true, 1, false, "", "", []string{f}); err == nil {
+		t.Fatal("-get with -records should error")
+	}
+	if err := run(ctx, "", "a.b", false, false, false, 1, false, side, "", []string{f}); err == nil {
+		t.Fatal("-get with -save-index should error")
+	}
+	if err := run(ctx, "", "a.nope", false, false, false, 1, false, "", "", []string{f}); err == nil {
+		t.Fatal("missing path should error")
+	}
+	if err := run(ctx, "", "a.b[", false, false, false, 1, false, "", "", []string{f}); err == nil {
+		t.Fatal("malformed path should error")
 	}
 }

@@ -192,3 +192,44 @@ func TestTraceExperiment(t *testing.T) {
 		t.Fatalf("accounting: %+v", rep.Accounting)
 	}
 }
+
+// TestOndemandExperiment smoke-runs the lazy-navigation experiment and
+// checks the BENCH_9.json trajectory it writes: every grid row timed,
+// the navigation path's byte accounting closed, and lazy lookup ahead
+// of the full DOM decode.
+func TestOndemandExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer func(d time.Duration) { benchTime = d }(benchTime)
+	benchTime = time.Millisecond
+	out := filepath.Join(t.TempDir(), "BENCH_9.json")
+	h := &harness{size: 64 << 10, workers: 2, seed: 7}
+	h.ondemand(out)
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ondemandReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "ondemand" || rep.Schema != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Rows) != 9 {
+		t.Fatalf("want 9 grid rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.LazyNs <= 0 || r.LazyIndexedNs <= 0 || r.CompiledNs <= 0 || r.DOMNs <= 0 {
+			t.Fatalf("row %+v has zero timings", r)
+		}
+		if !r.BytesAccounted {
+			t.Fatalf("row depth=%d fanout=%d: navigation bytes not accounted", r.Depth, r.Fanout)
+		}
+	}
+	if !rep.Summary.AllAccounted {
+		t.Fatal("summary reports unaccounted bytes")
+	}
+}

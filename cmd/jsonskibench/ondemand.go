@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"jsonski"
+	"jsonski/internal/baseline/domparser"
+	"jsonski/internal/telemetry"
+)
+
+// ondemandRow is one (field depth, sibling fan-out) point of the lazy
+// navigation experiment: the same single-field lookup done four ways.
+type ondemandRow struct {
+	Depth    int `json:"depth"`
+	Fanout   int `json:"fanout"`
+	DocBytes int `json:"doc_bytes"`
+
+	// LazyNs opens the raw document per lookup (per-word classification
+	// happens lazily during the hops); LazyIndexedNs reuses a prebuilt
+	// structural index the way jsonskid's /doc endpoint does.
+	LazyNs        int64 `json:"lazy_ns"`
+	LazyIndexedNs int64 `json:"lazy_indexed_ns"`
+	// CompiledNs runs the equivalent compiled DFA query end to end;
+	// DOMNs parses the whole document into a DOM and walks it
+	// (RapidJSON-class full decode).
+	CompiledNs int64 `json:"compiled_ns"`
+	DOMNs      int64 `json:"dom_ns"`
+
+	// SkipRatio is the navigation path's fast-forwarded fraction of the
+	// input; BytesAccounted confirms scanned + sum(ff) == input for the
+	// lookup's G1-G5 charges.
+	SkipRatio      float64 `json:"skip_ratio"`
+	BytesAccounted bool    `json:"bytes_accounted"`
+}
+
+type ondemandSummary struct {
+	// DOMSpeedupMin/Max bound DOMNs/LazyIndexedNs across the grid: lazy
+	// single-field access must beat full DOM decode everywhere.
+	DOMSpeedupMin float64 `json:"dom_speedup_min"`
+	DOMSpeedupMax float64 `json:"dom_speedup_max"`
+	// CompiledRatioMax is the worst LazyIndexedNs/CompiledNs: how much
+	// the pull-mode dispatch costs over the push-mode DFA on the same
+	// movements.
+	CompiledRatioMax float64 `json:"compiled_ratio_max"`
+	AllAccounted     bool    `json:"all_accounted"`
+}
+
+type ondemandReport struct {
+	Bench      string          `json:"bench"`
+	Schema     int             `json:"schema_version"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	GoVersion  string          `json:"go_version"`
+	Build      string          `json:"build"`
+	Rows       []ondemandRow   `json:"rows"`
+	Summary    ondemandSummary `json:"summary"`
+}
+
+// ondemandDoc builds a document whose single interesting field sits
+// under `depth` nested objects, each level preceded by `fanout` sibling
+// attributes of ~100 bytes that the lookup must fast-forward over. The
+// target is the LAST key at every level, so each hop pays the full
+// sibling scan — the worst case for navigation, the best case for
+// showing what G1-G5 skipping buys over a DOM decode of the clutter.
+func ondemandDoc(depth, fanout int) []byte {
+	var buf bytes.Buffer
+	pad := strings.Repeat("x", 64)
+	for lvl := 0; lvl < depth; lvl++ {
+		buf.WriteByte('{')
+		for i := 0; i < fanout; i++ {
+			fmt.Fprintf(&buf, `"sib_%d_%d": {"id": %d, "note": "%s"}, `, lvl, i, i, pad)
+		}
+		if lvl == depth-1 {
+			buf.WriteString(`"target": 42`)
+		} else {
+			buf.WriteString(`"child": `)
+		}
+	}
+	buf.WriteString(strings.Repeat("}", depth))
+	return buf.Bytes()
+}
+
+// ondemandPath is the hop list reaching ondemandDoc's target.
+func ondemandPath(depth int) []string {
+	segs := make([]string, 0, depth)
+	for i := 0; i < depth-1; i++ {
+		segs = append(segs, "child")
+	}
+	return append(segs, "target")
+}
+
+// domLookup walks a parsed DOM along the same path; the DOM method
+// pays Parse for every byte first, so the walk itself is cheap.
+func domLookup(root *domparser.Node, segs []string) *domparser.Node {
+	n := root
+	for _, seg := range segs {
+		var next *domparser.Node
+		for i, k := range n.Keys {
+			if string(k) == seg {
+				next = n.Children[i]
+				break
+			}
+		}
+		if next == nil {
+			panic("ondemand: DOM walk lost the target")
+		}
+		n = next
+	}
+	return n
+}
+
+// ondemand compares lazy single-field access against the compiled DFA
+// and a full DOM decode across field depth and sibling fan-out. Every
+// lazy hop is the same G1-G5 movement a compiled query would make, so
+// the lazy columns should track the compiled one while the DOM column
+// pays for every byte; the per-row accounting check pins the identity
+// scanned + sum(ff) == input on the navigation path. With -json the
+// table is written as a machine-readable report (the BENCH_9.json
+// trajectory).
+func (h *harness) ondemand(jsonOut string) {
+	fmt.Printf("\n== On-demand navigation: lazy lookup vs compiled DFA vs full DOM decode ==\n")
+	fmt.Printf("%-5s %6s %9s | %10s %10s %10s %10s | %6s %5s\n",
+		"depth", "fanout", "bytes", "lazy", "lazy-ixd", "compiled", "DOM", "skip", "acct")
+
+	rep := ondemandReport{
+		Bench:      "ondemand",
+		Schema:     1,
+		GoMaxProcs: h.workers,
+		GoVersion:  runtime.Version(),
+		Build:      telemetry.BuildInfo().Version(),
+	}
+	s := ondemandSummary{AllAccounted: true}
+
+	for _, depth := range []int{1, 4, 8} {
+		for _, fanout := range []int{8, 64, 256} {
+			data := ondemandDoc(depth, fanout)
+			segs := ondemandPath(depth)
+
+			d := jsonski.Open(data)
+			tLazy := timeIt(func() {
+				d.Reset(data)
+				raw, err := d.Lookup(segs...).Raw()
+				must(err)
+				if string(raw) != "42" {
+					panic("ondemand: wrong target")
+				}
+				must(d.Close())
+			})
+			// One more pass for the charge accounting of a single lookup.
+			d.Reset(data)
+			_, err := d.Lookup(segs...).Raw()
+			must(err)
+			must(d.Close())
+			st := d.Stats()
+			var ff int64
+			for _, v := range st.SkippedBytes {
+				ff += v
+			}
+			accounted := st.ScannedBytes()+ff == st.InputBytes
+
+			ix := jsonski.BuildIndex(data)
+			tIndexed := timeIt(func() {
+				d.ResetIndexed(ix)
+				_, err := d.Lookup(segs...).Raw()
+				must(err)
+				must(d.Close())
+			})
+
+			cq := jsonski.MustCompile("$." + strings.Join(segs, "."))
+			tCompiled := timeIt(func() {
+				n, err := cq.Count(data)
+				must(err)
+				if n != 1 {
+					panic("ondemand: compiled query missed the target")
+				}
+			})
+
+			tDOM := timeIt(func() {
+				root, err := domparser.Parse(data)
+				must(err)
+				node := domLookup(root, segs)
+				if got := bytes.TrimSpace(data[node.Span[0]:node.Span[1]]); string(got) != "42" {
+					panic("ondemand: DOM walk found the wrong span")
+				}
+			})
+			ix.Release()
+
+			r := ondemandRow{
+				Depth: depth, Fanout: fanout, DocBytes: len(data),
+				LazyNs: tLazy.Nanoseconds(), LazyIndexedNs: tIndexed.Nanoseconds(),
+				CompiledNs: tCompiled.Nanoseconds(), DOMNs: tDOM.Nanoseconds(),
+				SkipRatio: st.FastForwardRatio(), BytesAccounted: accounted,
+			}
+			rep.Rows = append(rep.Rows, r)
+
+			if sp := float64(r.DOMNs) / float64(r.LazyIndexedNs); s.DOMSpeedupMin == 0 || sp < s.DOMSpeedupMin {
+				s.DOMSpeedupMin = sp
+			}
+			if sp := float64(r.DOMNs) / float64(r.LazyIndexedNs); sp > s.DOMSpeedupMax {
+				s.DOMSpeedupMax = sp
+			}
+			if rr := float64(r.LazyIndexedNs) / float64(r.CompiledNs); rr > s.CompiledRatioMax {
+				s.CompiledRatioMax = rr
+			}
+			s.AllAccounted = s.AllAccounted && accounted
+
+			fmt.Printf("%-5d %6d %9s | %9dn %9dn %9dn %9dn | %5.1f%% %5t\n",
+				depth, fanout, fmtBytes(len(data)),
+				r.LazyNs, r.LazyIndexedNs, r.CompiledNs, r.DOMNs,
+				r.SkipRatio*100, accounted)
+		}
+	}
+	rep.Summary = s
+	fmt.Printf("summary: DOM/lazy-indexed speedup %.1fx..%.1fx, lazy-indexed/compiled worst %.2fx, all rows accounted: %t\n",
+		s.DOMSpeedupMin, s.DOMSpeedupMax, s.CompiledRatioMax, s.AllAccounted)
+
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(&rep, "", "  ")
+		must(err)
+		must(os.WriteFile(jsonOut, append(b, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+}

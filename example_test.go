@@ -80,3 +80,34 @@ func ExampleQuery_Run_stats() {
 	fmt.Printf("matches=%d skipped>half=%v\n", stats.Matches, stats.FastForwardRatio() > 0.5)
 	// Output: matches=1 skipped>half=true
 }
+
+func ExampleOpen() {
+	data := []byte(`{
+	  "user": {"name": "ada", "id": 7},
+	  "items": [
+	    {"sku": "a1", "qty": 2},
+	    {"sku": "b2", "qty": 5},
+	    {"sku": "c3", "qty": 9}
+	  ]
+	}`)
+	doc := jsonski.Open(data)
+	name, _ := doc.Get("user").Get("name").String()
+	qty, _ := doc.Get("items").Index(2).Get("qty").Int()
+	doc.Close()
+	st := doc.Stats()
+	fmt.Printf("%s bought %d; parsed < half the record: %v\n",
+		name, qty, st.FastForwardRatio() > 0.5)
+	// Output: ada bought 9; parsed < half the record: true
+}
+
+func ExampleValue_Unmarshal() {
+	type item struct {
+		SKU string `json:"sku"`
+		Qty int    `json:"qty"`
+	}
+	doc := jsonski.Open([]byte(`{"pad": [0,1,2,3], "item": {"sku": "b2", "qty": 5}}`))
+	var it item
+	doc.Get("item").Unmarshal(&it)
+	fmt.Printf("%s x%d\n", it.SKU, it.Qty)
+	// Output: b2 x5
+}

@@ -3,7 +3,10 @@ package jsonski_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"strconv"
 	"testing"
+	"unicode/utf8"
 
 	"jsonski"
 	"jsonski/internal/baseline/domparser"
@@ -308,4 +311,132 @@ func compareMatches(t *testing.T, label, expr string, data []byte, got, want []s
 				label, expr, data, i, got[i], want[i])
 		}
 	}
+}
+
+// FuzzOnDemandDifferential drives the lazy on-demand API against the
+// DOM reference: a fuzzed selector prefix picks a random hop path down
+// the parsed tree, the same hops run as Get/Index navigation, and the
+// landed value's raw span and scalar decodes must agree with the DOM
+// node byte for byte. The first input byte is the hop budget, the next
+// `depth` bytes steer each hop, and the rest is the document.
+func FuzzOnDemandDifferential(f *testing.F) {
+	doc := []byte(`{"id":7,"user":{"name":"ada","tags":["x","y"]},"items":[{"q":2},{"q":5}],"ok":true,"note":null}`)
+	f.Add(append([]byte{3, 1, 0, 0}, doc...))
+	f.Add(append([]byte{3, 2, 1, 0}, doc...))
+	f.Add(append([]byte{2, 1, 1}, doc...))
+	f.Add(append([]byte{0}, []byte(` -1.5e3 `)...))
+	f.Add(append([]byte{4, 9, 9, 9, 9}, []byte(`[[[["deep\t\"str\""]]]]`)...))
+	f.Add(append([]byte{1, 0}, []byte(`{"dup":1,"dup":2}`)...))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) < 2 {
+			return
+		}
+		depth := int(in[0]) % 7
+		if len(in) < 1+depth+1 {
+			return
+		}
+		sel := in[1 : 1+depth]
+		data := in[1+depth:]
+		if !jsonski.Valid(data) || !json.Valid(data) {
+			return
+		}
+		root, err := domparser.Parse(data)
+		if err != nil {
+			t.Fatalf("valid input %q rejected by DOM baseline: %v", data, err)
+		}
+		if !keysClean(root) {
+			return
+		}
+
+		d := jsonski.Open(data)
+		v := d.Root()
+		node := root
+		for _, b := range sel {
+			if len(node.Children) == 0 {
+				break
+			}
+			i := int(b) % len(node.Children)
+			switch node.Kind {
+			case domparser.KindObject:
+				key := node.Keys[i]
+				// Get resolves duplicate keys to the first occurrence;
+				// follow the same child in the DOM.
+				for j, k := range node.Keys {
+					if bytes.Equal(k, key) {
+						i = j
+						break
+					}
+				}
+				v = v.Get(string(key))
+			case domparser.KindArray:
+				v = v.Index(i)
+			}
+			node = node.Children[i]
+		}
+
+		raw, err := v.Raw()
+		if err != nil {
+			t.Fatalf("on-demand Raw over %q: %v", data, err)
+		}
+		want := bytes.TrimSpace(data[node.Span[0]:node.Span[1]])
+		if !bytes.Equal(bytes.TrimSpace(raw), want) {
+			t.Fatalf("on-demand span %q != DOM span %q (doc %q)", raw, want, data)
+		}
+
+		switch node.Kind {
+		case domparser.KindString:
+			if !utf8.Valid(want) {
+				// encoding/json coerces invalid UTF-8 to U+FFFD; Unquote
+				// preserves the raw bytes. Only compare where both agree.
+				break
+			}
+			got, err := v.String()
+			if err != nil {
+				t.Fatalf("String() of %q: %v", want, err)
+			}
+			var ref string
+			if err := json.Unmarshal(want, &ref); err != nil {
+				t.Fatalf("reference decode of %q: %v", want, err)
+			}
+			if got != ref {
+				t.Fatalf("String() of %q = %q, want %q", want, got, ref)
+			}
+		case domparser.KindNumber:
+			got, err := v.Float()
+			if err != nil {
+				t.Fatalf("Float() of %q: %v", want, err)
+			}
+			ref, err := strconv.ParseFloat(string(want), 64)
+			if err != nil {
+				t.Fatalf("reference parse of %q: %v", want, err)
+			}
+			if got != ref && !(math.IsNaN(got) && math.IsNaN(ref)) {
+				t.Fatalf("Float() of %q = %v, want %v", want, got, ref)
+			}
+		case domparser.KindBool:
+			got, err := v.Bool()
+			if err != nil {
+				t.Fatalf("Bool() of %q: %v", want, err)
+			}
+			if got != (want[0] == 't') {
+				t.Fatalf("Bool() of %q = %v", want, got)
+			}
+		case domparser.KindNull:
+			if !v.IsNull() {
+				t.Fatalf("IsNull() of %q = false", want)
+			}
+		}
+
+		if err := d.Close(); err != nil {
+			t.Fatalf("Close over %q: %v", data, err)
+		}
+		st := d.Stats()
+		var skipped int64
+		for _, b := range st.SkippedBytes {
+			skipped += b
+		}
+		if got := st.ScannedBytes() + skipped; got != st.InputBytes {
+			t.Fatalf("accounting over %q: scanned+skipped = %d, input %d", data, got, st.InputBytes)
+		}
+	})
 }

@@ -1,90 +1,19 @@
 package core
 
-import (
-	"jsonski/internal/fastforward"
-	"jsonski/internal/jsonpath"
-	"jsonski/internal/stream"
-	"jsonski/internal/telemetry"
-)
-
-// cursor is the execution substrate shared by every engine: it owns the
-// stream position, the fast-forward dispatcher (and with it the Table 6
-// group counters), match/recursion accounting, and the explain-trace
-// binding. Engines embed a cursor and layer a stepper policy on top
-// (see driver.go); the parallel engine's serial prefix phase and its
-// per-shard workers run over the same type.
+// cursor is the push-mode face of the Navigator substrate: the
+// recursive-descent driver (driver.go) and the stepper-policy engines
+// layer match/emit accounting on top of the navigation core that owns
+// stream position, fast-forward dispatch, and trace binding (nav.go).
+// The parallel engine's serial prefix phase and its per-shard workers
+// run over the same type.
 //
 // A cursor is reusable across runs but not safe for concurrent use.
 type cursor struct {
-	s   *stream.Stream
-	ff  *fastforward.FF
+	Navigator
+
 	out EmitFunc // single-query span callback; nil counts only
 
 	matches int64
-	depth   int
-
-	// rootStart/rootEnd delimit the record under evaluation within
-	// s.Data() — the whole buffer for plain runs, the window for
-	// RunIndexedWindow. Filter probes resolve absolute ($) references
-	// against this span.
-	rootStart, rootEnd int
-
-	// trace, when non-nil, receives one event per fast-forward movement
-	// plus the policy's state at each descent (explain mode). The
-	// disabled path is a nil check per object/array frame.
-	trace *telemetry.Trace
-}
-
-// SetTrace binds (or with nil unbinds) an explain trace.
-func (c *cursor) SetTrace(t *telemetry.Trace) {
-	c.trace = t
-	if c.ff != nil {
-		c.ff.Trace = t
-	}
-}
-
-// prepare (re)binds the cursor to a fresh buffer, classifying words
-// lazily as the run advances.
-func (c *cursor) prepare(data []byte) {
-	if c.s == nil {
-		c.s = stream.New(data)
-		c.ff = fastforward.New(c.s)
-	} else {
-		c.s.Reset(data)
-		c.ff.Reset(c.s)
-	}
-	c.rootStart, c.rootEnd = 0, len(data)
-	c.ff.Trace = c.trace
-}
-
-// prepareIndexed (re)binds the cursor to a prebuilt structural index;
-// the stream borrows ix's materialized masks. The caller must hold a
-// reference on ix for the duration of the run.
-func (c *cursor) prepareIndexed(ix *stream.Index) {
-	if c.s == nil {
-		c.s = stream.NewIndexed(ix)
-		c.ff = fastforward.New(c.s)
-	} else {
-		c.s.ResetIndexed(ix)
-		c.ff.Reset(c.s)
-	}
-	c.rootStart, c.rootEnd = 0, ix.Len()
-	c.ff.Trace = c.trace
-}
-
-// prepareWindow is prepareIndexed restricted to the single JSON value in
-// [lo, hi) of ix's buffer — the shard entry point of the parallel
-// engine. Positions stay absolute within the full buffer.
-func (c *cursor) prepareWindow(ix *stream.Index, lo, hi int) {
-	if c.s == nil {
-		c.s = stream.NewIndexedWindow(ix, lo, hi)
-		c.ff = fastforward.New(c.s)
-	} else {
-		c.s.ResetIndexedWindow(ix, lo, hi)
-		c.ff.Reset(c.s)
-	}
-	c.rootStart, c.rootEnd = lo, hi
-	c.ff.Trace = c.trace
 }
 
 // begin resets per-run accounting and installs the output callback.
@@ -109,48 +38,6 @@ func (c *cursor) emitSpan(start, end int) {
 	c.matches++
 	if c.out != nil {
 		c.out(start, end)
-	}
-}
-
-// skipValue fast-forwards over the value under the cursor, charging
-// group g. inArray selects the primitive terminator set: ','/']' for
-// array elements, ','/'}' for attribute values.
-func (c *cursor) skipValue(vt jsonpath.ValueType, g fastforward.Group, inArray bool) error {
-	switch vt {
-	case jsonpath.Object:
-		return c.ff.GoOverObj(g)
-	case jsonpath.Array:
-		return c.ff.GoOverAry(g)
-	default:
-		var err error
-		if inArray {
-			_, err = c.ff.GoOverPriElem(g)
-		} else {
-			_, err = c.ff.GoOverPriAttr(g)
-		}
-		return err
-	}
-}
-
-// outputValue fast-forwards over an accepted value (G3), returning its
-// whitespace-trimmed span for emission.
-func (c *cursor) outputValue(vt jsonpath.ValueType, inArray bool) (fastforward.Span, error) {
-	switch vt {
-	case jsonpath.Object:
-		return c.ff.GoOverObjOut()
-	case jsonpath.Array:
-		return c.ff.GoOverAryOut()
-	default:
-		var (
-			sp  fastforward.Span
-			err error
-		)
-		if inArray {
-			sp, _, err = c.ff.GoOverPriElemOut()
-		} else {
-			sp, _, err = c.ff.GoOverPriAttrOut()
-		}
-		return sp, err
 	}
 }
 

@@ -218,5 +218,10 @@ func driveArray[S, F, A any](c *cursor, p stepper[S, F, A], frame F, expected js
 		if act >= actDescend && c.trace != nil {
 			c.trace.State = p.stateID(frame)
 		}
+		if constrained && idx+1 >= hi {
+			// G5: the range is exhausted — jump straight from here rather
+			// than stepping onto the next element first.
+			return c.ff.GoToAryEnd()
+		}
 	}
 }

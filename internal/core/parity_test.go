@@ -231,3 +231,105 @@ func TestNFAWindowMatchesSliceRun(t *testing.T) {
 		lo = hi + 1
 	}
 }
+
+// navParityCases are single-target child/index paths where pull-mode
+// navigation and a compiled DFA run must be movement-for-movement
+// identical: same emitted span, same per-group Table 1 charges.
+var navParityCases = []struct {
+	query string
+	hops  []string // object names / decimal element indexes, in order
+	data  string
+}{
+	{"$.a.b", []string{"a", "b"}, `{"a": {"b": 1}, "c": {"b": 2}}`},
+	{"$.a.b", []string{"a", "b"}, `{"x": [1, 2, 3], "a": {"q": "s", "b": {"deep": [true]}}}`},
+	{"$.a[2]", []string{"a", "2"}, `{"a": [0, 1, {"v": "hit"}, 3]}`},
+	{"$.items[1].name", []string{"items", "1", "name"}, `{"items": [{"id": 1, "name": "x"}, {"id": 2, "name": "y"}], "n": 2}`},
+	{"$.a.b", []string{"a", "b"}, `{"a": "not an object", "b": 7}`},
+}
+
+// navHint mirrors the automaton's per-step value-type expectation: an
+// attribute whose next step is an index must hold an array, a child step
+// an object, and the final step is unconstrained.
+func navHint(hops []string, i int) jsonpath.ValueType {
+	if i+1 >= len(hops) {
+		return jsonpath.Unknown
+	}
+	if _, err := fmt.Sscanf(hops[i+1], "%d", new(int)); err == nil {
+		return jsonpath.Array
+	}
+	return jsonpath.Object
+}
+
+// TestNavigatorDFAStatsParity pins the tentpole promise of the shared
+// Navigator substrate: an on-demand hop sequence equivalent to a
+// compiled child/index query produces the byte-identical span AND the
+// identical per-group fast-forward charges, because both faces dispatch
+// the same Table 1 movements.
+func TestNavigatorDFAStatsParity(t *testing.T) {
+	for _, tc := range navParityCases {
+		t.Run(tc.query+"/"+tc.data[:15], func(t *testing.T) {
+			p, err := jsonpath.Parse(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := []byte(tc.data)
+
+			dfa := NewEngine(automaton.New(p))
+			var dfaSpans [][2]int
+			dfaStats, err := dfa.Run(data, func(s, e int) {
+				dfaSpans = append(dfaSpans, [2]int{s, e})
+			})
+			if err != nil {
+				t.Fatalf("dfa: %v", err)
+			}
+
+			var n Navigator
+			n.Bind(data)
+			v, err := n.Root()
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := true
+			for i, hop := range tc.hops {
+				var idx int
+				if _, err := fmt.Sscanf(hop, "%d", &idx); err == nil {
+					v, found, err = n.Elem(v, idx)
+				} else {
+					v, found, err = n.Field(v, hop, navHint(tc.hops, i))
+				}
+				if err != nil {
+					t.Fatalf("hop %q: %v", hop, err)
+				}
+				if !found {
+					break
+				}
+			}
+			var navSpans [][2]int
+			if found {
+				s, e, err := n.Raw(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				navSpans = append(navSpans, [2]int{s, e})
+			}
+			if err := n.Finish(); err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(dfaSpans, navSpans) {
+				t.Errorf("spans diverge:\n dfa %v\n nav %v", dfaSpans, navSpans)
+			}
+			navStats := n.Stats()
+			if dfaStats.InputBytes != navStats.InputBytes {
+				t.Errorf("input bytes diverge: dfa %d nav %d", dfaStats.InputBytes, navStats.InputBytes)
+			}
+			if dfaStats.Skipped.SkippedBytes != navStats.Skipped.SkippedBytes {
+				t.Errorf("group charges diverge:\n dfa %v\n nav %v",
+					dfaStats.Skipped.SkippedBytes, navStats.Skipped.SkippedBytes)
+			}
+			if got := navStats.ScannedBytes() + navStats.Skipped.TotalSkipped(); got != navStats.InputBytes {
+				t.Errorf("nav accounting: scanned+ff = %d, input %d", got, navStats.InputBytes)
+			}
+		})
+	}
+}

@@ -220,24 +220,28 @@ func (f *FF) GoToAryEnd() error {
 // cursor, leaving the cursor ON the terminating ',' or '}' and reporting
 // which terminated it.
 func (f *FF) GoOverPriAttr(g Group) (term byte, err error) {
-	return f.goOverPrimitive(g, stream.RBrace, "GoOverPriAttr")
+	return f.goOverPrimitive(g, "GoOverPriAttr")
 }
 
 // GoOverPriElem skips the primitive array element starting at the cursor,
 // leaving the cursor ON the terminating ',' or ']'.
 func (f *FF) GoOverPriElem(g Group) (term byte, err error) {
-	return f.goOverPrimitive(g, stream.RBracket, "GoOverPriElem")
+	return f.goOverPrimitive(g, "GoOverPriElem")
 }
 
-func (f *FF) goOverPrimitive(g Group, closer stream.Meta, op string) (byte, error) {
+// goOverPrimitive jumps to the value's terminator with the stream's
+// fused terminator bitmap (one classification per word instead of one
+// per metacharacter); in valid JSON the first of ','/'}'/']' outside a
+// string is the terminator regardless of the enclosing container kind.
+func (f *FF) goOverPrimitive(g Group, op string) (byte, error) {
 	s := f.S
 	start := s.Pos()
-	p, m := s.NextMeta2(stream.Comma, closer)
+	p, b := s.NextTerm()
 	if p < 0 {
 		return 0, fmt.Errorf("fastforward: unterminated primitive at %d", start)
 	}
 	f.charge(g, start, p, op)
-	return m.Byte(), nil
+	return b, nil
 }
 
 // Span is a half-open byte range of the input, used by the G3 output
@@ -281,18 +285,18 @@ func (f *FF) GoOverAryOut() (Span, error) {
 // GoOverPriAttrOut / GoOverPriElemOut skip a primitive value, returning
 // its whitespace-trimmed span and leaving the cursor ON the terminator.
 func (f *FF) GoOverPriAttrOut() (Span, byte, error) {
-	return f.goOverPrimitiveOut(stream.RBrace, "GoOverPriAttrOut")
+	return f.goOverPrimitiveOut("GoOverPriAttrOut")
 }
 
 // GoOverPriElemOut is the array-element counterpart of GoOverPriAttrOut.
 func (f *FF) GoOverPriElemOut() (Span, byte, error) {
-	return f.goOverPrimitiveOut(stream.RBracket, "GoOverPriElemOut")
+	return f.goOverPrimitiveOut("GoOverPriElemOut")
 }
 
-func (f *FF) goOverPrimitiveOut(closer stream.Meta, op string) (Span, byte, error) {
+func (f *FF) goOverPrimitiveOut(op string) (Span, byte, error) {
 	s := f.S
 	start := s.Pos()
-	p, m := s.NextMeta2(stream.Comma, closer)
+	p, b := s.NextTerm()
 	if p < 0 {
 		return Span{}, 0, fmt.Errorf("fastforward: unterminated primitive at %d", start)
 	}
@@ -302,7 +306,7 @@ func (f *FF) goOverPrimitiveOut(closer stream.Meta, op string) (Span, byte, erro
 		end--
 	}
 	f.charge(G3, start, p, op)
-	return Span{start, end}, m.Byte(), nil
+	return Span{start, end}, b, nil
 }
 
 func isWS(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+const docBody = `{"store": {"pad": [1, 2, 3], "book": [{"title": "A"}, {"title": "B"}]}}`
+
+func TestDocLookup(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, body := post(t, ts.URL+"/doc?get="+url.QueryEscape("store.book[1].title"),
+		"application/json", docBody)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if body != `"B"`+"\n" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestDocLookupIndexed(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	// First lookup builds (and retains) the structural index; the second
+	// must hit the cache and still navigate to the same span.
+	for i := 0; i < 2; i++ {
+		code, body := post(t, ts.URL+"/doc?get="+url.QueryEscape("store.book[0].title"),
+			"application/json", docBody)
+		if code != http.StatusOK {
+			t.Fatalf("pass %d: status %d: %s", i, code, body)
+		}
+		if body != `"A"`+"\n" {
+			t.Fatalf("pass %d: body = %q", i, body)
+		}
+	}
+	if hits := s.icache.Stats().Hits; hits == 0 {
+		t.Fatal("second /doc lookup should hit the index cache")
+	}
+}
+
+func TestDocErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, tc := range []struct {
+		name, get, body string
+		want            int
+	}{
+		{"missing get param", "", docBody, http.StatusBadRequest},
+		{"malformed path", "store.book[", docBody, http.StatusBadRequest},
+		{"empty body", "store", "", http.StatusBadRequest},
+		{"malformed body", "store", `{"store": `, http.StatusBadRequest},
+		{"path not found", "store.magazine", docBody, http.StatusNotFound},
+		{"index out of range", "store.book[9].title", docBody, http.StatusNotFound},
+	} {
+		u := ts.URL + "/doc"
+		if tc.get != "" {
+			u += "?get=" + url.QueryEscape(tc.get)
+		}
+		code, body := post(t, u, "application/json", tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, code, tc.want, body)
+		}
+	}
+}
+
+func TestDocMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	if code, body := post(t, ts.URL+"/doc?get=store.pad%5B2%5D", "application/json", docBody); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	snap := getMetrics(t, ts.URL)
+	if snap.Requests.Doc != 1 {
+		t.Fatalf("doc requests = %d, want 1", snap.Requests.Doc)
+	}
+	if snap.Latency.Doc.Count != 1 {
+		t.Fatalf("doc latency count = %d, want 1", snap.Latency.Doc.Count)
+	}
+	if snap.Engine.Records != 1 {
+		t.Fatalf("engine records = %d, want 1", snap.Engine.Records)
+	}
+	// the on-demand scan feeds the same accounting identity as a query
+	var skipped int64
+	for _, v := range snap.Engine.SkippedBytes {
+		skipped += v
+	}
+	if got := snap.Engine.ScannedBytes + skipped; got != snap.Engine.InputBytes {
+		t.Fatalf("accounting: scanned+skipped = %d, input %d", got, snap.Engine.InputBytes)
+	}
+}

@@ -31,13 +31,16 @@ type metrics struct {
 	skipped        [fastforward.NumGroups]atomic.Int64
 	recordErrors   atomic.Int64
 	cancelledReads atomic.Int64
+	docRequests    atomic.Int64
 
-	// queryLatency and multiLatency time whole requests per endpoint
-	// (observed in ServeHTTP); recordLatency times individual record
-	// evaluations across both endpoints (observed in the eval closures).
+	// queryLatency, multiLatency, and docLatency time whole requests per
+	// endpoint (observed in ServeHTTP); recordLatency times individual
+	// record evaluations across the endpoints (observed in the eval
+	// closures and the /doc lookup).
 	queryLatency  telemetry.Histogram
 	multiLatency  telemetry.Histogram
 	recordLatency telemetry.Histogram
+	docLatency    telemetry.Histogram
 }
 
 // addStats folds one record evaluation into the engine counters. Write
@@ -90,6 +93,9 @@ type metricsSnapshot struct {
 		Multi    int64 `json:"multi"`
 		Errors   int64 `json:"errors"`
 		InFlight int64 `json:"in_flight"`
+		// Doc sits last so the established field order stays
+		// byte-compatible for existing consumers.
+		Doc int64 `json:"doc"`
 	} `json:"requests"`
 	IO struct {
 		BytesIn  int64 `json:"bytes_in"`
@@ -142,6 +148,8 @@ type metricsSnapshot struct {
 		Query  latencyJSON `json:"query"`
 		Multi  latencyJSON `json:"multi"`
 		Record latencyJSON `json:"record"`
+		// Doc sits last per the append-only field-order rule.
+		Doc latencyJSON `json:"doc"`
 	} `json:"latency"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Build         struct {
@@ -219,6 +227,7 @@ type promSnapshot struct {
 	queryLatency  telemetry.HistSnapshot
 	multiLatency  telemetry.HistSnapshot
 	recordLatency telemetry.HistSnapshot
+	docLatency    telemetry.HistSnapshot
 }
 
 // snapshot is the single reader of the live metric atomics. Load order
@@ -258,6 +267,7 @@ func (s *Server) snapshot() promSnapshot {
 
 	out.Requests.Query = s.m.queryRequests.Load()
 	out.Requests.Multi = s.m.multiRequests.Load()
+	out.Requests.Doc = s.m.docRequests.Load()
 	out.Requests.Errors = s.m.requestErrors.Load()
 	out.Requests.InFlight = s.m.inFlight.Load()
 	out.IO.BytesIn = s.m.bytesIn.Load()
@@ -292,9 +302,11 @@ func (s *Server) snapshot() promSnapshot {
 	out.queryLatency = s.m.queryLatency.Snapshot()
 	out.multiLatency = s.m.multiLatency.Snapshot()
 	out.recordLatency = s.m.recordLatency.Snapshot()
+	out.docLatency = s.m.docLatency.Snapshot()
 	out.Latency.Query = latencyFrom(out.queryLatency)
 	out.Latency.Multi = latencyFrom(out.multiLatency)
 	out.Latency.Record = latencyFrom(out.recordLatency)
+	out.Latency.Doc = latencyFrom(out.docLatency)
 
 	if s.catalog != nil {
 		out.Catalog = catalogFrom(s.catalog.Stats(), true)
@@ -343,6 +355,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	p.Header("jsonski_requests_total", "Requests served, by endpoint.", "counter")
 	p.Int("jsonski_requests_total", []telemetry.Label{{Name: "endpoint", Value: "query"}}, snap.Requests.Query)
 	p.Int("jsonski_requests_total", []telemetry.Label{{Name: "endpoint", Value: "multi"}}, snap.Requests.Multi)
+	p.Int("jsonski_requests_total", []telemetry.Label{{Name: "endpoint", Value: "doc"}}, snap.Requests.Doc)
 	p.Header("jsonski_request_errors_total", "Requests or records that produced an error response or error line.", "counter")
 	p.Int("jsonski_request_errors_total", nil, snap.Requests.Errors)
 	p.Header("jsonski_in_flight_requests", "Evaluation requests currently being served.", "gauge")
@@ -445,6 +458,8 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		[]telemetry.Label{{Name: "endpoint", Value: "query"}}, snap.queryLatency)
 	p.Histogram("jsonski_request_duration_seconds",
 		[]telemetry.Label{{Name: "endpoint", Value: "multi"}}, snap.multiLatency)
+	p.Histogram("jsonski_request_duration_seconds",
+		[]telemetry.Label{{Name: "endpoint", Value: "doc"}}, snap.docLatency)
 	p.Header("jsonski_record_duration_seconds", "Single-record evaluation latency.", "histogram")
 	p.Histogram("jsonski_record_duration_seconds", nil, snap.recordLatency)
 

@@ -15,6 +15,12 @@
 //	POST /multi?path=..&path=..  evaluate several paths in one shared
 //	                         pass per record (jsonski.QuerySet); lines
 //	                         gain a "query" index field
+//	GET/POST /doc?get=a.b[2] navigate the body (one JSON document) to a
+//	                         single value with the on-demand lazy API —
+//	                         no query compilation; the raw value span is
+//	                         returned verbatim, 404 when the path does
+//	                         not resolve. Indexed via the same catalog/
+//	                         cache tiers as single-document /query.
 //	POST /index              persist a document's structural index into
 //	                         the catalog (requires -index-dir); NDJSON
 //	                         bodies also persist their record table
@@ -161,6 +167,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /multi", s.handleMulti)
+	s.mux.HandleFunc("GET /doc", s.handleDoc)
+	s.mux.HandleFunc("POST /doc", s.handleDoc)
 	s.mux.HandleFunc("POST /index", s.handleIndexPut)
 	s.mux.HandleFunc("GET /index", s.handleIndexList)
 	s.mux.HandleFunc("GET /index/{hash}", s.handleIndexGet)
@@ -185,7 +193,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	evalPath := r.URL.Path == "/query" || r.URL.Path == "/multi"
+	evalPath := r.URL.Path == "/query" || r.URL.Path == "/multi" || r.URL.Path == "/doc"
 	var sp *telemetry.Span
 	if s.tracer != nil && evalPath {
 		// Continue an inbound W3C context when one is present (the
@@ -205,6 +213,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.m.queryLatency.Observe(dur)
 	case "/multi":
 		s.m.multiLatency.Observe(dur)
+	case "/doc":
+		s.m.docLatency.Observe(dur)
 	}
 	slow := s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery && evalPath
 	if sp != nil {

@@ -73,6 +73,8 @@ type Stream struct {
 	haveStop     bool
 	attrStop     uint64 // union of '{','[','}' (lazy, for attribute runs)
 	haveAttrStop bool
+	term         uint64 // union of ',','}',']' (lazy, primitive terminators)
+	haveTerm     bool
 
 	ec bits.EscapeCarry
 	sc bits.StringCarry
@@ -182,10 +184,12 @@ func (s *Stream) loadWord(base int) {
 			s.haveWS = true
 			s.haveStop = true
 			s.haveAttrStop = true
+			s.haveTerm = true
 			s.masks = [NumMeta]uint64{}
 			s.ws = 0
 			s.stop = 0
 			s.attrStop = 0
+			s.term = 0
 			return
 		}
 		end := s.wordBase + bits.WordSize
@@ -200,6 +204,7 @@ func (s *Stream) loadWord(base int) {
 		s.haveWS = false
 		s.haveStop = false
 		s.haveAttrStop = false
+		s.haveTerm = false
 		s.WordsProcessed++
 	}
 }
@@ -215,6 +220,7 @@ func (s *Stream) loadIndexedWord(base int) {
 	s.haveWS = true
 	s.haveStop = true
 	s.haveAttrStop = true
+	s.haveTerm = true
 	if base >= s.limit {
 		s.quotes = 0
 		s.inStr = 0
@@ -222,6 +228,7 @@ func (s *Stream) loadIndexedWord(base int) {
 		s.ws = 0
 		s.stop = 0
 		s.attrStop = 0
+		s.term = 0
 		return
 	}
 	row := s.idx.row(base / bits.WordSize)
@@ -241,6 +248,7 @@ func (s *Stream) loadIndexedWord(base int) {
 	s.masks[Quote] = s.quotes
 	s.stop = s.masks[LBrace] | s.masks[LBracket] | s.masks[RBracket]
 	s.attrStop = s.masks[LBrace] | s.masks[LBracket] | s.masks[RBrace]
+	s.term = s.masks[Comma] | s.masks[RBrace] | s.masks[RBracket]
 	s.WordsProcessed++
 }
 
@@ -332,6 +340,37 @@ func (s *Stream) AttrStopMaskFrom() uint64 {
 		s.haveAttrStop = true
 	}
 	return bits.ClearBelow(s.attrStop, uint(s.pos-s.wordBase))
+}
+
+// TermMaskFrom returns the union of the ',', '}' and ']' masks from the
+// current position — the terminator set of any primitive value,
+// whichever container holds it (in valid JSON the wrong-container
+// closer cannot precede the right one) — fused and cached per word.
+func (s *Stream) TermMaskFrom() uint64 {
+	if !s.haveTerm {
+		s.term = s.blk.EqMask3Or(',', '}', ']') &^ s.inStr
+		s.haveTerm = true
+	}
+	return bits.ClearBelow(s.term, uint(s.pos-s.wordBase))
+}
+
+// NextTerm advances the cursor word by word to the next primitive
+// terminator (',', '}' or ']') at or after the current position,
+// returning its absolute position and the terminating byte, or -1 at
+// EOF. The cursor is left ON the terminator. This is the sibling-
+// stepping primitive: one fused bitmap per word instead of separate
+// per-metacharacter classifications.
+func (s *Stream) NextTerm() (int, byte) {
+	for {
+		if m := s.TermMaskFrom(); m != 0 {
+			p := s.wordBase + bits.TrailingZeros(m)
+			s.pos = p
+			return p, s.data[p]
+		}
+		if !s.NextWord() {
+			return -1, 0
+		}
+	}
 }
 
 // WhitespaceMask returns the whitespace bitmap of the cached word.

@@ -379,3 +379,42 @@ func TestSkipString(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+func TestNextTerm(t *testing.T) {
+	in := []byte(`{"a": 12, "b": ",]}", "c": [true]}`)
+	s := New(in)
+	s.SetPos(6) // on the '1' of 12
+	p, b := s.NextTerm()
+	if b != ',' || in[p] != ',' || p != 8 {
+		t.Fatalf("NextTerm = %d,%q, want 8,','", p, b)
+	}
+	// terminators inside the string value of "b" are masked out
+	s.SetPos(15) // opening quote of ",]}"
+	p, b = s.NextTerm()
+	if b != ',' || p != 20 {
+		t.Fatalf("NextTerm = %d,%q, want 20,','", p, b)
+	}
+	s.SetPos(28) // on 'true'
+	p, b = s.NextTerm()
+	if b != ']' || in[p] != ']' {
+		t.Fatalf("NextTerm = %d,%q, want ']'", p, b)
+	}
+}
+
+func TestNextTermAcrossWordsAndEOF(t *testing.T) {
+	long := append([]byte(`[12345`), make([]byte, 80)...)
+	for i := 6; i < len(long); i++ {
+		long[i] = '0'
+	}
+	long = append(long, ']')
+	s := New(long)
+	s.Advance(1)
+	p, b := s.NextTerm()
+	if b != ']' || p != len(long)-1 {
+		t.Fatalf("NextTerm = %d,%q, want closing bracket", p, b)
+	}
+	s2 := New([]byte(`true`))
+	if p, _ := s2.NextTerm(); p != -1 {
+		t.Fatalf("NextTerm at EOF = %d, want -1", p)
+	}
+}

@@ -21,6 +21,12 @@
 #                                 candidate spans)
 #   BenchmarkRunFilterFullParse — the full-parse filter fallback (DOM
 #                                 per candidate span)
+#   BenchmarkOnDemandGet        — the lazy navigation substrate: one
+#                                 indexed single-field lookup per record
+#                                 (what jsonskid's /doc endpoint runs).
+#                                 Every hop is a G1-G5 movement, so this
+#                                 doubles as a guard on the Navigator's
+#                                 dispatch overhead
 #
 # A benchmark absent from the base file is skipped, not failed: it did
 # not exist at the base commit. Both files must be produced on the SAME
@@ -55,7 +61,8 @@ mean() {
 
 fail=0
 for bench in BenchmarkRunLarge BenchmarkRunLargeSinkStream \
-             BenchmarkRunFilterSkip BenchmarkRunFilterFullParse; do
+             BenchmarkRunFilterSkip BenchmarkRunFilterFullParse \
+             BenchmarkOnDemandGet; do
     head_mean=$(mean "$head_file" "$bench")
     if [ -z "$head_mean" ]; then
         echo "$bench: no samples in $head_file" >&2

@@ -8,6 +8,13 @@
 // (append([]byte(nil), v...), copy, string(v)) is the sanctioned way
 // out. Passing a span onward as a call argument is delivery, not
 // retention, and stays allowed.
+//
+// The on-demand navigation API hands out the same kind of span:
+// Value.Raw() returns a slice of the Document's bound buffer, valid
+// only until the document is rebound. Any method-call result shaped
+// Raw() ([]byte, error) is therefore treated as a span root with the
+// same no-store/no-send rules, in every function (not just engine
+// callbacks).
 package spanretain
 
 import (
@@ -34,18 +41,28 @@ func run(pass *analysis.Pass) error {
 			if recv, fields := spanMethod(pass, fn); recv != nil {
 				checkBody(pass, fn.Body, func(e ast.Expr) bool {
 					return isRecvFieldSpan(pass, e, recv, fields)
-				})
+				}, false)
 			}
 			if params := matchParams(pass, fn.Type); len(params) > 0 {
 				checkBody(pass, fn.Body, func(e ast.Expr) bool {
 					return isMatchValue(pass, e, params)
-				})
+				}, false)
 			}
+			// Raw spans scope to the innermost function: a span captured by
+			// a nested literal may outlive the navigation that produced it,
+			// so each literal is checked as its own retention boundary
+			// (pruneLits) when InspectStack reaches it below.
+			checkBody(pass, fn.Body, func(e ast.Expr) bool {
+				return isRawSpanCall(pass, e)
+			}, true)
 		case *ast.FuncLit:
+			checkBody(pass, fn.Body, func(e ast.Expr) bool {
+				return isRawSpanCall(pass, e)
+			}, true)
 			if params := matchParams(pass, fn.Type); len(params) > 0 {
 				checkBody(pass, fn.Body, func(e ast.Expr) bool {
 					return isMatchValue(pass, e, params)
-				})
+				}, false)
 				return false // already checked; don't re-enter via outer decls
 			}
 		}
@@ -113,6 +130,9 @@ func spanMethod(pass *analysis.Pass, fn *ast.FuncDecl) (types.Object, map[string
 }
 
 func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
 	s, ok := types.Unalias(t).Underlying().(*types.Slice)
 	if !ok {
 		return false
@@ -162,6 +182,30 @@ func isMatchValue(pass *analysis.Pass, e ast.Expr, params []types.Object) bool {
 	return false
 }
 
+// isRawSpanCall reports whether e is a method call shaped
+// Raw() ([]byte, error) — the on-demand API's zero-copy span accessor
+// (jsonski.Value.Raw and anything mimicking it).
+func isRawSpanCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := analysis.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Raw" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	return isByteSlice(sig.Results().At(0).Type()) &&
+		types.Identical(sig.Results().At(1).Type(), types.Universe.Lookup("error").Type())
+}
+
 // isRecvFieldSpan reports whether e aliases the record buffer bound in
 // the Span receiver (s.data, s.data[start:end]).
 func isRecvFieldSpan(pass *analysis.Pass, e ast.Expr, recv types.Object, fields map[string]bool) bool {
@@ -177,9 +221,21 @@ func isRecvFieldSpan(pass *analysis.Pass, e ast.Expr, recv types.Object, fields 
 }
 
 // checkBody flags every retention of an aliasing expression inside one
-// span-delivery function.
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt, isRoot func(ast.Expr) bool) {
+// span-delivery function. With pruneLits set, nested function literals
+// are skipped — each literal is checked as its own retention boundary
+// by the caller.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, isRoot func(ast.Expr) bool, pruneLits bool) {
 	local := make(map[types.Object]bool)
+
+	// inspect walks body, optionally stopping at nested literals.
+	inspect := func(fn func(ast.Node) bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && pruneLits {
+				return false
+			}
+			return fn(n)
+		})
+	}
 
 	// isAlias extends the root predicate with local variables holding a
 	// span and slices thereof.
@@ -237,12 +293,38 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt, isRoot func(ast.Expr) b
 		return false
 	}
 
-	// Pass 1: propagate spans into local variables (v := m.Value).
+	// Pass 1: propagate spans into local variables (v := m.Value), and
+	// through two-value unpacking of span-producing calls
+	// (raw, err := v.Raw() marks raw).
 	for changed := true; changed; {
 		changed = false
-		ast.Inspect(body, func(n ast.Node) bool {
+		inspect(func(n ast.Node) bool {
 			a, ok := n.(*ast.AssignStmt)
-			if !ok || len(a.Lhs) != len(a.Rhs) {
+			if !ok {
+				return true
+			}
+			if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+				if !isRoot(a.Rhs[0]) {
+					return true
+				}
+				for _, lhs := range a.Lhs {
+					id, ok := analysis.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj == nil || local[obj] || !isLocalTo(obj, body) || !isByteSlice(obj.Type()) {
+						continue
+					}
+					local[obj] = true
+					changed = true
+				}
+				return true
+			}
+			if len(a.Lhs) != len(a.Rhs) {
 				return true
 			}
 			for i := range a.Lhs {
@@ -267,7 +349,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt, isRoot func(ast.Expr) b
 	}
 
 	// Pass 2: flag retention.
-	ast.Inspect(body, func(n ast.Node) bool {
+	inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
@@ -280,6 +362,27 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt, isRoot func(ast.Expr) b
 				pass.Reportf(n.Value.Pos(), "sending a zero-copy span on a channel; the buffer is invalid after the record ends — copy it first")
 			}
 		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 && isRoot(n.Rhs[0]) {
+				// Two-value unpacking of a span call straight into storage
+				// (c.last, err = v.Raw()).
+				for _, lhs := range n.Lhs {
+					switch l := analysis.Unparen(lhs).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						if isByteSlice(pass.TypeOf(l)) {
+							pass.Reportf(n.Rhs[0].Pos(), "storing a zero-copy span outside the callback; the buffer is invalid after the record ends — copy it first")
+						}
+					case *ast.Ident:
+						obj := pass.Info.Defs[l]
+						if obj == nil {
+							obj = pass.Info.Uses[l]
+						}
+						if obj != nil && !isLocalTo(obj, body) && isByteSlice(obj.Type()) {
+							pass.Reportf(n.Rhs[0].Pos(), "storing a zero-copy span in variable %q declared outside the callback; copy it first", l.Name)
+						}
+					}
+				}
+				return true
+			}
 			if len(n.Lhs) != len(n.Rhs) {
 				return true
 			}

@@ -55,3 +55,49 @@ func (s *sink) Span(start, end int) error {
 	s.out = append(s.out, s.data[start:end]) // want `storing a zero-copy span`
 	return nil
 }
+
+// lazyValue mimics jsonski.Value: Raw hands out a span of the
+// document's bound buffer.
+type lazyValue struct{ data []byte }
+
+func (v lazyValue) Raw() ([]byte, error) { return v.data, nil }
+
+type docHolder struct {
+	last []byte
+}
+
+func (h *docHolder) keep(v lazyValue) {
+	raw, err := v.Raw()
+	if err != nil {
+		return
+	}
+	h.last = raw // want `storing a zero-copy span`
+}
+
+func (h *docHolder) keepUnpacked(v lazyValue) (err error) {
+	h.last, err = v.Raw() // want `storing a zero-copy span`
+	return err
+}
+
+func rawReturn(v lazyValue) []byte {
+	raw, _ := v.Raw()
+	return raw // want `returning a zero-copy span`
+}
+
+func rawReturnDirect(v lazyValue) ([]byte, error) {
+	return v.Raw() // want `returning a zero-copy span`
+}
+
+func rawSend(v lazyValue, ch chan []byte) {
+	raw, _ := v.Raw()
+	ch <- raw[1:] // want `sending a zero-copy span`
+}
+
+func rawInClosure(run func(fn func(lazyValue))) [][]byte {
+	var out [][]byte
+	run(func(v lazyValue) {
+		raw, _ := v.Raw()
+		out = append(out, raw) // want `storing a zero-copy span`
+	})
+	return out
+}

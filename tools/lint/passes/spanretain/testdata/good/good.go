@@ -46,3 +46,44 @@ func (s *sink) Span(start, end int) error {
 	s.out = append(s.out, append([]byte(nil), s.data[start:end]...))
 	return nil
 }
+
+// lazyValue mimics jsonski.Value: Raw hands out a span of the
+// document's bound buffer.
+type lazyValue struct{ data []byte }
+
+func (v lazyValue) Raw() ([]byte, error) { return v.data, nil }
+
+func rawCopied(v lazyValue) []byte {
+	raw, _ := v.Raw()
+	return append([]byte(nil), raw...) // spread append copies
+}
+
+func rawAsString(v lazyValue) (string, error) {
+	raw, err := v.Raw()
+	return string(raw), err // conversion copies
+}
+
+func rawDelivered(v lazyValue, emit func([]byte)) error {
+	raw, err := v.Raw()
+	if err != nil {
+		return err
+	}
+	emit(raw) // delivery, not retention
+	return nil
+}
+
+func rawLocalUse(v lazyValue) int {
+	raw, _ := v.Raw()
+	sub := raw[1:]
+	return len(sub)
+}
+
+// notSpan has a Raw method of a different shape; its result is an
+// ordinary slice, not a document span.
+type notSpan struct{}
+
+func (notSpan) Raw() []byte { return make([]byte, 4) }
+
+func unrelatedRaw(n notSpan) []byte {
+	return n.Raw()
+}
