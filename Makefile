@@ -3,7 +3,7 @@
 # ./...` from the root does not cross the nested module boundary, so the
 # targets below spell both out.
 
-.PHONY: all build test race lint fuzz-smoke
+.PHONY: all build test race lint lint-one fuzz-smoke
 
 all: build test lint
 
@@ -21,6 +21,15 @@ race:
 
 lint:
 	./scripts/lint.sh
+
+# lint-one exercises a single jsonskilint analyzer: its fixture tests
+# first, then the pass alone over the whole tree. Usage:
+#
+#   make lint-one PASS=poolpair
+lint-one:
+	@test -n "$(PASS)" || { echo "usage: make lint-one PASS=<analyzer>" >&2; exit 2; }
+	cd tools/lint && go test ./passes/$(PASS)/...
+	go run ./tools/lint/cmd/jsonskilint -run $(PASS) ./...
 
 # fuzz-smoke mirrors the CI fuzz-smoke job: a short budget per native
 # fuzz target, enough to replay the seed corpus and catch shallow

@@ -20,6 +20,10 @@ const spanTraceEvents = 64
 // when the run recorded one, then ends the span. The span (possibly
 // nil: unsampled request) is consumed; callers must not touch it after.
 func (s *Server) finishEngineSpan(sp *telemetry.Span, idx int, st jsonski.Stats, err error) {
+	// End unconditionally (a no-op on non-recording spans), so the span
+	// reaches End() on the unsampled early-return path too — the same
+	// contract spanend enforces at every StartChild site.
+	defer sp.End()
 	if !sp.Recording() {
 		return
 	}
@@ -46,7 +50,6 @@ func (s *Server) finishEngineSpan(sp *telemetry.Span, idx int, st jsonski.Stats,
 		}
 	}
 	sp.SetError(err)
-	sp.End()
 }
 
 // flushSink flushes the buffered response writer under a sink.flush

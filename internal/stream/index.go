@@ -89,6 +89,10 @@ func NewIndex(data []byte) *Index {
 	if v := rowPool.Get(); v != nil {
 		if b := *(v.(*[]uint64)); cap(b) >= need {
 			rows = b[:need]
+		} else {
+			// Too small for this document: return it for a smaller one
+			// instead of dropping it on the floor.
+			rowPool.Put(v)
 		}
 	}
 	if rows == nil {

@@ -2,11 +2,19 @@
 # lint.sh — run the full lint suite exactly as CI's lint job does:
 #
 #   go vet        over both workspace modules (the library and tools/lint)
-#   jsonskilint   the custom invariant analyzers (poolpair, spanretain,
+#   jsonskilint   the custom invariant analyzers (poolpair, escapespan,
 #                 chargesite, atomicpair, tracenil, spanend,
-#                 mapownership; see DESIGN §5d)
-#   staticcheck   over the whole tree (CI pins the version; locally the
-#                 step is skipped with a warning when not installed)
+#                 mapownership, navgen; see DESIGN §5d and §5i). The
+#                 dataflow-based passes (poolpair, spanend, escapespan,
+#                 mapownership, navgen) are path-sensitive: they reason
+#                 over the CFG, so "released on some paths but not all"
+#                 is a finding, not a false negative.
+#   staticcheck   over both workspace modules (CI pins the version;
+#                 locally the step is skipped with a warning when not
+#                 installed). `staticcheck ./...` from the root does not
+#                 cross the nested module boundary, so tools/lint gets
+#                 its own invocation — the analyzers are load-bearing
+#                 code and lint themselves.
 #   shellcheck    over scripts/*.sh (same skip rule)
 #
 # Usage: scripts/lint.sh   (from anywhere; it cds to the repo root)
@@ -24,9 +32,11 @@ echo "==> go vet ./... (tools/lint module)"
 echo "==> jsonskilint ./..."
 go run ./tools/lint/cmd/jsonskilint ./... || fail=1
 
-echo "==> staticcheck ./..."
 if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck ./... (library module)"
     staticcheck ./... || fail=1
+    echo "==> staticcheck ./... (tools/lint module)"
+    (cd tools/lint && staticcheck ./...) || fail=1
 else
     echo "warning: staticcheck not installed; skipping (CI installs honnef.co/go/tools/cmd/staticcheck, pinned)" >&2
 fi

@@ -34,13 +34,16 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+	facts *FactStore
 }
 
-// Diagnostic is one finding, positioned in the analyzed source.
+// Diagnostic is one finding, positioned in the analyzed source. The
+// field tags define the jsonskilint -json wire shape consumed by the CI
+// problem matcher.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
 }
 
 func (d Diagnostic) String() string {
@@ -74,10 +77,20 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // Run applies every analyzer to every package and returns the findings
-// sorted by position.
+// sorted by position. Packages are visited in dependency order
+// (imported before importer) over one shared fact store, so an
+// analyzer's exported summaries — "this function consumes its
+// argument", "this function retains its parameter" — are visible when
+// its callers are analyzed, within a package set and across it.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunFacts(pkgs, analyzers, NewFactStore())
+}
+
+// RunFacts is Run over a caller-supplied fact store, which may carry
+// summaries decoded from a previous run.
+func RunFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range sortDeps(pkgs) {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -86,6 +99,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				diags:    &diags,
+				facts:    facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
@@ -103,7 +117,41 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
+}
+
+// sortDeps orders pkgs so every package follows the analyzed packages
+// it imports (stable topological sort; go list already emits roughly
+// this order, but facts must not depend on it).
+func sortDeps(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Types.Path()] = p
+	}
+	var out []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		path := p.Types.Path()
+		if state[path] != 0 {
+			return // done, or a cycle (impossible in valid Go) — skip
+		}
+		state[path] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }

@@ -13,10 +13,28 @@
 // expression that must match a diagnostic reported on that line.
 // Diagnostics with no matching want, and wants with no matching
 // diagnostic, both fail the test.
+//
+// A want clause of the form name:"regexp" asserts instead that the
+// analyzer exported a fact on the object called name declared on that
+// line, and that the fact's string form matches the regexp:
+//
+//	func annotate(sp *telemetry.Span) { // want annotate:`Params:\[false\]`
+//
+// Fact wants with no matching exported fact fail the test; exported
+// facts without an assertion are fine — summaries are emitted for
+// every analyzed function, and annotating them all would drown the
+// fixtures.
+//
+// Every fixture run executes the analyzer twice over freshly loaded
+// packages and requires identical diagnostics, so nondeterministic
+// ordering (map iteration leaking into report order) fails loudly in
+// the pass's own test rather than flaking in CI.
 package analysistest
 
 import (
 	"fmt"
+	"go/token"
+	"go/types"
 	"regexp"
 	"strconv"
 	"strings"
@@ -25,21 +43,22 @@ import (
 	"jsonski/tools/lint/analysis"
 )
 
-var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
-var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantArgRE = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_]*):)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
 type expectation struct {
 	file string
 	line int
 	re   *regexp.Regexp
 	raw  string
+	fact string // object name for fact assertions, "" for diagnostics
 	met  bool
 }
 
 // Run loads the fixture module at dir (with the workspace disabled, so
 // fixtures under the repository's go.work still resolve standalone),
 // applies the analyzer to every package in it, and compares
-// diagnostics against the fixture's want comments.
+// diagnostics and exported facts against the fixture's want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	pkgs, err := analysis.Load(dir, []string{"GOWORK=off", "GOFLAGS="}, "./...")
@@ -50,33 +69,10 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatalf("no fixture packages found in %s", dir)
 	}
 
-	var wants []*expectation
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					m := wantRE.FindStringSubmatch(c.Text)
-					if m == nil {
-						continue
-					}
-					pos := pkg.Fset.Position(c.Pos())
-					for _, arg := range wantArgRE.FindAllString(m[1], -1) {
-						pat, err := unquote(arg)
-						if err != nil {
-							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, arg, err)
-						}
-						re, err := regexp.Compile(pat)
-						if err != nil {
-							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
-						}
-						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
-					}
-				}
-			}
-		}
-	}
+	wants := collectWants(t, pkgs)
 
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	store := analysis.NewFactStore()
+	diags, err := analysis.RunFacts(pkgs, []*analysis.Analyzer{a}, store)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -84,7 +80,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
-			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			if w.met || w.fact != "" || w.file != d.Pos.Filename || w.line != d.Pos.Line {
 				continue
 			}
 			if w.re.MatchString(d.Message) {
@@ -97,11 +93,115 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
+
+	facts := store.All(a.Name)
 	for _, w := range wants {
-		if !w.met {
-			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		if w.fact == "" {
+			continue
+		}
+		for _, of := range facts {
+			if of.Object == nil || of.Object.Name() != w.fact {
+				continue
+			}
+			pos := positionOf(pkgs, of.Object)
+			if pos.Filename != w.file || pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(fmt.Sprint(of.Fact)) {
+				w.met = true
+				break
+			}
 		}
 	}
+
+	for _, w := range wants {
+		if !w.met {
+			kind := "diagnostic"
+			if w.fact != "" {
+				kind = "fact on " + strconv.Quote(w.fact)
+			}
+			t.Errorf("%s:%d: no %s matching %q", w.file, w.line, kind, w.raw)
+		}
+	}
+
+	checkDeterminism(t, dir, a, diags)
+}
+
+// checkDeterminism reloads the fixtures and re-runs the analyzer,
+// requiring the same diagnostics in the same order.
+func checkDeterminism(t *testing.T, dir string, a *analysis.Analyzer, first []analysis.Diagnostic) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, []string{"GOWORK=off", "GOFLAGS="}, "./...")
+	if err != nil {
+		t.Fatalf("reloading fixtures in %s: %v", dir, err)
+	}
+	again, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("re-running %s: %v", a.Name, err)
+	}
+	if len(again) != len(first) {
+		t.Errorf("nondeterministic run: %d diagnostics, then %d", len(first), len(again))
+		return
+	}
+	for i := range first {
+		if first[i].String() != again[i].String() {
+			t.Errorf("nondeterministic diagnostic %d:\n  first: %s\n  again: %s", i, first[i], again[i])
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+					if len(args) == 0 {
+						t.Fatalf("%s:%d: want comment with no patterns", pos.Filename, pos.Line)
+					}
+					for _, arg := range args {
+						pat, err := unquote(arg[2])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, arg[2], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  pat,
+							fact: arg[1],
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// positionOf resolves obj's declaration position through the file set
+// of the package that declared it.
+func positionOf(pkgs []*analysis.Package, obj types.Object) token.Position {
+	for _, pkg := range pkgs {
+		if pkg.Types == obj.Pkg() {
+			return pkg.Fset.Position(obj.Pos())
+		}
+	}
+	if len(pkgs) > 0 {
+		return pkgs[0].Fset.Position(obj.Pos())
+	}
+	return token.Position{}
 }
 
 func unquote(s string) (string, error) {

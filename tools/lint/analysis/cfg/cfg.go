@@ -1,0 +1,490 @@
+// Package cfg builds intraprocedural control-flow graphs from go/ast
+// function bodies, on the standard library alone. The graph is the
+// substrate the dataflow package iterates over, replacing the ad-hoc
+// "is there a return between these two positions" heuristics the first
+// generation of jsonskilint analyzers grew (DESIGN §5i).
+//
+// Shapes covered: if/else, for and range loops, switch (expression and
+// type) with fallthrough, select, labeled statements with
+// break/continue/goto, and return. Branch conditions are decomposed
+// through short-circuit operators: `if a && b` produces one condition
+// block per leaf, so a dataflow can refine facts separately along the
+// true and false edges of each leaf (Block.Cond, Succs[0]/Succs[1]).
+//
+// Two kinds of control transfer get special treatment:
+//
+//   - defer: a DeferStmt stays in its block as an ordinary node (and is
+//     also listed in CFG.Defers). Because a registered defer runs on
+//     every exit reached after it — returns and panics both — a forward
+//     must-reach analysis may soundly apply the deferred call's effect
+//     at the DeferStmt itself.
+//   - panic: a statement that is a direct call to the panic builtin
+//     terminates its block with an edge to Exit, and the block is marked
+//     Terminal == "panic" so analyses can keep invariant-violation
+//     bail-outs out of leak reports.
+//
+// Function literals are opaque expressions here: each literal body gets
+// its own CFG, built by whoever analyzes it.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block: every return, panic, and
+	// the fall-off-the-end path lead here. It holds no nodes.
+	Exit *Block
+	// Defers lists every defer statement in source order.
+	Defers []*ast.DeferStmt
+}
+
+// Block is a straight-line run of statements (and decomposed branch
+// condition leaves).
+type Block struct {
+	Index int
+	Kind  string // for debugging: "entry", "if.then", "for.head", ...
+	// Nodes are executed in order: statements, plus—last, when Cond is
+	// set—one branch condition leaf expression.
+	Nodes []ast.Node
+	// Succs are the successor blocks. When Cond is set there are exactly
+	// two: Succs[0] is the edge taken when the condition leaf is true,
+	// Succs[1] when false.
+	Succs []*Block
+	Preds []*Block
+	Cond  bool
+	// Terminal marks how the block reaches Exit: "return", "panic", or
+	// "" (not an exit block, or the implicit end-of-function fall-off).
+	Terminal string
+}
+
+// CondExpr returns the branch condition leaf of a Cond block.
+func (b *Block) CondExpr() ast.Expr {
+	if !b.Cond || len(b.Nodes) == 0 {
+		return nil
+	}
+	e, _ := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+	return e
+}
+
+// String renders the graph topology for tests and debugging.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s)", b.Index, b.Kind)
+		if b.Terminal != "" {
+			fmt.Fprintf(&sb, "[%s]", b.Terminal)
+		}
+		sb.WriteString(" ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// scope is one enclosing breakable construct: a loop (cont != nil) or a
+// switch/select body (cont == nil). break binds to the innermost scope,
+// continue to the innermost loop scope.
+type scope struct {
+	label     string
+	brk, cont *Block
+}
+
+type builder struct {
+	g          *CFG
+	cur        *Block
+	scopes     []scope
+	fallTarget *Block // next case body, inside a switch clause
+	labels     map[string]*Block
+}
+
+// New builds the CFG of one function body (from a FuncDecl or FuncLit).
+func New(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Index: -1, Kind: "exit"}
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// Implicit return: fall off the end.
+	b.jump(g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump seals the current block with an unconditional edge to target and
+// leaves the builder in a fresh unreachable block.
+func (b *builder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.Terminal = "return"
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			b.cur.Terminal = "panic"
+			b.jump(b.g.Exit)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		b.loop(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeLoop(s, "")
+
+	case *ast.LabeledStmt:
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			b.loop(inner, s.Label.Name)
+		case *ast.RangeStmt:
+			b.rangeLoop(inner, s.Label.Name)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// A labeled switch/select: the label is a break target.
+			b.labeledBreakable(s.Label.Name, inner)
+		default:
+			// A goto target: start a fresh block so the label has a
+			// stable entry point.
+			target := b.gotoTarget(s.Label.Name)
+			b.edge(b.cur, target)
+			b.cur = target
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, EmptyStmt…
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// cond decomposes e through short-circuit operators, terminating the
+// current block at each leaf with (true, false) successor edges.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.cur.Nodes = append(b.cur.Nodes, e)
+	b.cur.Cond = true
+	b.edge(b.cur, t)
+	b.edge(b.cur, f)
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) loop(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.cond(s.Cond, body, done)
+	} else {
+		b.edge(b.cur, body)
+	}
+	b.scopes = append(b.scopes, scope{label: label, brk: done, cont: post})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *builder) rangeLoop(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(b.cur, head)
+	// The RangeStmt node itself carries the key/value assignment and the
+	// ranged expression; it lives in the head so per-iteration facts see
+	// it once per trip.
+	head.Nodes = append(head.Nodes, s)
+	b.edge(head, body)
+	b.edge(head, done)
+	b.scopes = append(b.scopes, scope{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *builder) labeledBreakable(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	}
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	b.caseClauses(s.Body, label, nil)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.caseClauses(s.Body, label, s.Assign)
+}
+
+// caseClauses lowers switch bodies: the dispatch block edges to every
+// case body (and to done when there is no default), fallthrough edges
+// link consecutive bodies.
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, assign ast.Stmt) {
+	head := b.cur
+	done := b.newBlock("switch.done")
+	var bodies []*Block
+	hasDefault := false
+	for _, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		blk := b.newBlock("case")
+		if assign != nil {
+			// The type-switch assign (v := x.(type)) re-binds per clause;
+			// surfacing it in each body keeps the binding visible.
+			blk.Nodes = append(blk.Nodes, assign)
+		}
+		for _, e := range clause.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blk)
+		bodies = append(bodies, blk)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.scopes = append(b.scopes, scope{label: label, brk: done})
+	outerFall := b.fallTarget
+	for i, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		b.cur = bodies[i]
+		b.fallTarget = nil
+		if i+1 < len(bodies) {
+			b.fallTarget = bodies[i+1]
+		}
+		b.stmtList(clause.Body)
+		b.edge(b.cur, done)
+	}
+	b.fallTarget = outerFall
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.scopes = append(b.scopes, scope{label: label, brk: done})
+	for _, cc := range s.Body.List {
+		clause := cc.(*ast.CommClause)
+		blk := b.newBlock("comm")
+		b.edge(head, blk)
+		b.cur = blk
+		if clause.Comm != nil {
+			b.stmt(clause.Comm)
+		}
+		b.stmtList(clause.Body)
+		b.edge(b.cur, done)
+	}
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever; keep done reachable for builder sanity.
+		b.edge(head, done)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findBreak(label); t != nil {
+			b.jump(t)
+			return
+		}
+	case token.CONTINUE:
+		if t := b.findContinue(label); t != nil {
+			b.jump(t)
+			return
+		}
+	case token.GOTO:
+		b.jump(b.gotoTarget(label))
+		return
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.jump(b.fallTarget)
+			return
+		}
+	}
+	// Malformed target (shouldn't happen in type-checked code): detach.
+	b.cur = b.newBlock("unreachable")
+}
+
+// findBreak scans the scope stack innermost-first: loops and
+// switch/select bodies both accept an unlabeled break.
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if label == "" || b.scopes[i].label == label {
+			return b.scopes[i].brk
+		}
+	}
+	return nil
+}
+
+// findContinue binds to the innermost loop scope (cont != nil).
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].cont == nil {
+			continue
+		}
+		if label == "" || b.scopes[i].label == label {
+			return b.scopes[i].cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) gotoTarget(label string) *Block {
+	if t, ok := b.labels[label]; ok {
+		return t
+	}
+	t := b.newBlock("label." + label)
+	b.labels[label] = t
+	return t
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,240 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"jsonski/tools/lint/analysis/cfg"
+)
+
+func buildFunc(t *testing.T, src string) (*token.FileSet, *cfg.CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return fset, cfg.New(fd.Body)
+}
+
+// reachable walks successor edges from Entry.
+func reachable(g *cfg.CFG) map[*cfg.Block]bool {
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block)
+	walk = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestIfElseJoins(t *testing.T) {
+	_, g := buildFunc(t, `func f(c bool) int {
+		x := 1
+		if c {
+			x = 2
+		} else {
+			x = 3
+		}
+		return x
+	}`)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// Exactly one return-terminated predecessor of exit.
+	returns := 0
+	for _, b := range g.Exit.Preds {
+		if b.Terminal == "return" {
+			returns++
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("want 1 return block, got %d:\n%s", returns, g)
+	}
+}
+
+func TestShortCircuitDecomposition(t *testing.T) {
+	_, g := buildFunc(t, `func f(a, b, c bool) {
+		if a && (b || !c) {
+			println("t")
+		}
+	}`)
+	conds := 0
+	for _, b := range g.Blocks {
+		if b.Cond {
+			conds++
+			if len(b.Succs) != 2 {
+				t.Fatalf("cond block b%d has %d succs", b.Index, len(b.Succs))
+			}
+			if b.CondExpr() == nil {
+				t.Fatalf("cond block b%d has no condition leaf", b.Index)
+			}
+		}
+	}
+	// a, b, c each get their own leaf (NOT swaps edges, no extra leaf).
+	if conds != 3 {
+		t.Fatalf("want 3 condition leaves, got %d:\n%s", conds, g)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	_, g := buildFunc(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			if i == 3 {
+				break
+			}
+			if i == 4 {
+				continue
+			}
+			println(i)
+		}
+	}`)
+	// A back edge exists: some block's successor has a smaller index.
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index >= 0 && s.Index < b.Index && s != g.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("no back edge found:\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	_, g := buildFunc(t, `func f(x int) {
+		switch x {
+		case 1:
+			println(1)
+			fallthrough
+		case 2:
+			println(2)
+		default:
+			println(3)
+		}
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// With a default present, the dispatch block must not edge straight
+	// to switch.done.
+	for _, b := range g.Blocks {
+		if b.Kind != "switch.done" {
+			continue
+		}
+		for _, p := range b.Preds {
+			if p.Kind == "entry" {
+				t.Fatalf("dispatch edges to done despite default:\n%s", g)
+			}
+		}
+	}
+}
+
+func TestPanicTerminal(t *testing.T) {
+	_, g := buildFunc(t, `func f(bad bool) {
+		if bad {
+			panic("x")
+		}
+		println("ok")
+	}`)
+	panics := 0
+	for _, b := range g.Exit.Preds {
+		if b.Terminal == "panic" {
+			panics++
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("want 1 panic-terminal exit pred, got %d:\n%s", panics, g)
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	_, g := buildFunc(t, `func f() {
+		defer println("a")
+		if true {
+			defer println("b")
+		}
+	}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(g.Defers))
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	_, g := buildFunc(t, `func f(n int) {
+	loop:
+		for i := 0; i < n; i++ {
+			for {
+				if i > 2 {
+					break loop
+				}
+				if i > 1 {
+					continue loop
+				}
+				goto done
+			}
+		}
+	done:
+		println("done")
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	found := false
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.done") {
+			found = true
+			if len(b.Preds) < 2 { // goto + fallthrough from loop done
+				t.Fatalf("label block has %d preds:\n%s", len(b.Preds), g)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no label block:\n%s", g)
+	}
+}
+
+func TestSelectAndRange(t *testing.T) {
+	_, g := buildFunc(t, `func f(ch chan int, xs []int) {
+		for _, x := range xs {
+			select {
+			case v := <-ch:
+				println(v, x)
+			default:
+			}
+		}
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	_, g := buildFunc(t, `func f(x any) {
+		switch v := x.(type) {
+		case int:
+			println(v)
+		case string:
+			println(v)
+		}
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}

@@ -1,0 +1,173 @@
+// Package dataflow runs worklist iteration over a cfg.CFG: a generic
+// forward or backward analysis propagating lattice facts through the
+// blocks until fixpoint. Analyses supply the lattice (bottom, join,
+// equality) and a gen/kill-style transfer function over AST nodes; the
+// framework owns reachability, merge points, and loop convergence — the
+// parts the first-generation jsonskilint analyzers approximated with
+// position comparisons (DESIGN §5i).
+package dataflow
+
+import (
+	"go/ast"
+
+	"jsonski/tools/lint/analysis/cfg"
+)
+
+// Direction selects the order facts flow through the graph.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry toward Exit (e.g. ownership
+	// states, taint).
+	Forward Direction = iota
+	// Backward propagates facts from Exit toward Entry (e.g. liveness).
+	Backward
+)
+
+// Spec defines one analysis over facts of type F. F is treated as
+// mutable state owned by the framework: Transfer and Branch update
+// their argument in place, and the framework clones before sharing.
+type Spec[F any] struct {
+	Dir Direction
+
+	// Entry produces the boundary fact: at the entry block for a forward
+	// analysis, at the exit block for a backward one.
+	Entry func() F
+	// Clone deep-copies a fact.
+	Clone func(F) F
+	// Join merges src into dst, reporting whether dst changed.
+	Join func(dst, src F) bool
+	// Transfer applies one node's effect to f in place. For a forward
+	// analysis nodes arrive in execution order; backward, reversed.
+	Transfer func(n ast.Node, f F)
+	// Branch, if non-nil, refines f for one edge out of a condition
+	// block: cond is the decomposed condition leaf, takeTrue selects the
+	// Succs[0] (true) or Succs[1] (false) edge. Forward analyses only.
+	Branch func(cond ast.Expr, takeTrue bool, f F)
+}
+
+// Result holds the fixpoint: the fact at each block's start (in its
+// analysis direction) for every reached block.
+type Result[F any] struct {
+	In      map[*cfg.Block]F
+	Reached map[*cfg.Block]bool
+}
+
+// Run iterates spec over g until fixpoint and returns the per-block
+// facts.
+func Run[F any](g *cfg.CFG, spec Spec[F]) *Result[F] {
+	res := &Result[F]{
+		In:      make(map[*cfg.Block]F, len(g.Blocks)),
+		Reached: make(map[*cfg.Block]bool, len(g.Blocks)),
+	}
+	start := g.Entry
+	if spec.Dir == Backward {
+		start = g.Exit
+	}
+	res.In[start] = spec.Entry()
+	res.Reached[start] = true
+
+	work := []*cfg.Block{start}
+	inWork := map[*cfg.Block]bool{start: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		out := spec.Clone(res.In[b])
+		applyBlock(b, spec, out)
+
+		succs := b.Succs
+		if spec.Dir == Backward {
+			succs = b.Preds
+		}
+		for i, s := range succs {
+			f := out
+			if len(succs) > 1 || spec.Branch != nil && spec.Dir == Forward && b.Cond {
+				f = spec.Clone(out)
+			}
+			if spec.Dir == Forward && b.Cond && spec.Branch != nil {
+				spec.Branch(b.CondExpr(), i == 0, f)
+			}
+			if !res.Reached[s] {
+				res.In[s] = f
+				res.Reached[s] = true
+				if !inWork[s] {
+					work = append(work, s)
+					inWork[s] = true
+				}
+				continue
+			}
+			if spec.Join(res.In[s], f) && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return res
+}
+
+// applyBlock runs spec.Transfer over b's nodes in the analysis
+// direction, mutating f.
+func applyBlock[F any](b *cfg.Block, spec Spec[F], f F) {
+	if spec.Dir == Forward {
+		for _, n := range b.Nodes {
+			spec.Transfer(n, f)
+		}
+		return
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		spec.Transfer(b.Nodes[i], f)
+	}
+}
+
+// Replay re-walks every reached block from its fixpoint in-fact,
+// calling visit with the fact holding immediately before each node (in
+// the analysis direction). Analyses use it as the reporting pass:
+// fixpoint first, diagnostics second, so every report sees converged
+// facts.
+func (r *Result[F]) Replay(g *cfg.CFG, spec Spec[F], visit func(b *cfg.Block, n ast.Node, before F)) {
+	for _, b := range g.Blocks {
+		if !r.Reached[b] {
+			continue
+		}
+		f := spec.Clone(r.In[b])
+		nodes := b.Nodes
+		if spec.Dir == Backward {
+			for i := len(nodes) - 1; i >= 0; i-- {
+				visit(b, nodes[i], f)
+				spec.Transfer(nodes[i], f)
+			}
+			continue
+		}
+		for _, n := range nodes {
+			visit(b, n, f)
+			spec.Transfer(n, f)
+		}
+	}
+}
+
+// ExitFacts computes, for each reached predecessor of g.Exit, the fact
+// flowing into Exit along that edge (forward analyses). The returned
+// map is keyed by the terminal block; use Block.Terminal to tell
+// returns from panics from the implicit end of the function.
+func ExitFacts[F any](g *cfg.CFG, spec Spec[F], r *Result[F]) map[*cfg.Block]F {
+	out := make(map[*cfg.Block]F)
+	for _, b := range g.Exit.Preds {
+		if !r.Reached[b] {
+			continue
+		}
+		f := spec.Clone(r.In[b])
+		applyBlock(b, spec, f)
+		if b.Cond && spec.Branch != nil {
+			for i, s := range b.Succs {
+				if s == g.Exit {
+					spec.Branch(b.CondExpr(), i == 0, f)
+					break
+				}
+			}
+		}
+		out[b] = f
+	}
+	return out
+}

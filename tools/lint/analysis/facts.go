@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Fact is a datum an analyzer attaches to a package-level object —
+// typically a function summary ("consumes its argument", "returns a
+// zero-copy span") — and later imports when analyzing the object's
+// callers, possibly from another package. Mirrors
+// golang.org/x/tools/go/analysis facts on the standard library alone.
+//
+// Facts must be pointers to gob-serializable types: every export
+// round-trips through encoding/gob, so a fact that cannot be serialized
+// fails loudly at the export site rather than silently losing
+// interprocedural information if the store is ever persisted.
+type Fact interface {
+	AFact() // marker method
+}
+
+// ObjectFact pairs an exported fact with the object carrying it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// FactStore holds the facts exported by every (analyzer, package) pass
+// of one Run. It is shared across packages: Run analyzes packages in
+// dependency order, so by the time a caller package is analyzed its
+// callees' summaries are present.
+type FactStore struct {
+	mu    sync.Mutex
+	facts map[factKey]Fact
+	objs  map[factKey]types.Object
+	types map[string]reflect.Type
+}
+
+type factKey struct {
+	analyzer string
+	object   string // stable object key, see objectKey
+	typ      string // concrete fact type name
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		facts: make(map[factKey]Fact),
+		objs:  make(map[factKey]types.Object),
+		types: make(map[string]reflect.Type),
+	}
+}
+
+// objectKey derives a stable, package-qualified key for obj. Functions
+// and methods use types.Func.FullName ("pkg.F", "(pkg.T).M"); other
+// objects fall back to the package path and name.
+func objectKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name()
+}
+
+func factTypeName(f Fact) string {
+	return reflect.TypeOf(f).String()
+}
+
+// export stores fact on obj for analyzer, round-tripping it through gob
+// to enforce serializability. The stored value is the decoded copy.
+func (s *FactStore) export(analyzer string, obj types.Object, fact Fact) error {
+	rt := reflect.TypeOf(fact)
+	if rt.Kind() != reflect.Pointer {
+		return fmt.Errorf("fact %T must be a pointer type", fact)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(fact).Elem()); err != nil {
+		return fmt.Errorf("fact %T is not gob-serializable: %v", fact, err)
+	}
+	fresh := reflect.New(rt.Elem())
+	if err := gob.NewDecoder(&buf).DecodeValue(fresh.Elem()); err != nil {
+		return fmt.Errorf("fact %T does not round-trip through gob: %v", fact, err)
+	}
+	decoded := fresh.Interface().(Fact)
+
+	key := factKey{analyzer: analyzer, object: objectKey(obj), typ: factTypeName(fact)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.facts[key] = decoded
+	s.objs[key] = obj
+	s.types[key.typ] = rt.Elem()
+	return nil
+}
+
+// lookup copies the stored fact for (analyzer, obj) of ptr's type into
+// *ptr and reports whether one was found.
+func (s *FactStore) lookup(analyzer string, obj types.Object, ptr Fact) bool {
+	key := factKey{analyzer: analyzer, object: objectKey(obj), typ: factTypeName(ptr)}
+	s.mu.Lock()
+	got, ok := s.facts[key]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// all returns the facts exported by analyzer, sorted by object key for
+// deterministic iteration.
+func (s *FactStore) all(analyzer string) []ObjectFact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []factKey
+	for k := range s.facts {
+		if k.analyzer == analyzer {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].object != keys[j].object {
+			return keys[i].object < keys[j].object
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	out := make([]ObjectFact, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, ObjectFact{Object: s.objs[k], Fact: s.facts[k]})
+	}
+	return out
+}
+
+// All returns the facts exported by analyzer with their objects,
+// sorted by object key for deterministic iteration. Drivers and tests
+// use it to inspect what a run summarized.
+func (s *FactStore) All(analyzer string) []ObjectFact {
+	return s.all(analyzer)
+}
+
+// wireFact is the serialized form of one store entry.
+type wireFact struct {
+	Analyzer string
+	Object   string
+	Type     string
+	Data     []byte
+}
+
+// Encode writes every fact in the store to w (gob), so a driver can
+// persist summaries next to the export data its loader consumes. The
+// object association survives as the stable object key; Decode
+// re-attaches facts by key, not identity.
+func (s *FactStore) Encode(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []factKey
+	for k := range s.facts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		if a.object != b.object {
+			return a.object < b.object
+		}
+		return a.typ < b.typ
+	})
+	var wire []wireFact
+	for _, k := range keys {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(s.facts[k]).Elem()); err != nil {
+			return err
+		}
+		wire = append(wire, wireFact{Analyzer: k.analyzer, Object: k.object, Type: k.typ, Data: buf.Bytes()})
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Decode merges facts previously written by Encode into the store. The
+// concrete fact types must have been seen by this process (via export
+// or RegisterFactType) so their reflect.Types are known.
+func (s *FactStore) Decode(r io.Reader) error {
+	var wire []wireFact
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, wf := range wire {
+		rt, ok := s.types[wf.Type]
+		if !ok {
+			return fmt.Errorf("decoding facts: unknown fact type %s (register it first)", wf.Type)
+		}
+		fresh := reflect.New(rt)
+		if err := gob.NewDecoder(bytes.NewReader(wf.Data)).DecodeValue(fresh.Elem()); err != nil {
+			return fmt.Errorf("decoding fact %s on %s: %v", wf.Type, wf.Object, err)
+		}
+		key := factKey{analyzer: wf.Analyzer, object: wf.Object, typ: wf.Type}
+		s.facts[key] = fresh.Interface().(Fact)
+		// No types.Object to re-attach; lookups match by key.
+	}
+	return nil
+}
+
+// RegisterFactType teaches the store a concrete fact type ahead of
+// Decode, for drivers that load persisted facts before running any
+// analyzer.
+func (s *FactStore) RegisterFactType(f Fact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.types[factTypeName(f)] = reflect.TypeOf(f).Elem()
+}
+
+// ExportObjectFact attaches fact to obj for this pass's analyzer. The
+// fact becomes visible to later passes of the same analyzer — including
+// over packages that import this one.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		p.facts = NewFactStore()
+	}
+	if err := p.facts.export(p.Analyzer.Name, obj, fact); err != nil {
+		panic(fmt.Sprintf("%s: ExportObjectFact(%s): %v", p.Analyzer.Name, obj, err))
+	}
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into
+// *ptr, reporting whether one exists. Callee summaries from packages
+// analyzed earlier in the dependency order arrive through here.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	return p.facts.lookup(p.Analyzer.Name, obj, ptr)
+}
+
+// AllObjectFacts returns every fact this analyzer has exported so far,
+// deterministically ordered.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.all(p.Analyzer.Name)
+}

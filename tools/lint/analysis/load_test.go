@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under t.TempDir and returns
+// its root. files maps relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// off disables the repository workspace so temp modules resolve
+// standalone, exactly as fixture loads do.
+var off = []string{"GOWORK=off", "GOFLAGS="}
+
+func TestLoadOK(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module tmp\n\ngo 1.22\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	})
+	pkgs, err := Load(dir, off, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "tmp" {
+		t.Fatalf("got %d packages, want the tmp package", len(pkgs))
+	}
+	if pkgs[0].Types == nil || pkgs[0].Info == nil {
+		t.Fatal("package missing type information")
+	}
+}
+
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.22\n",
+		"a.go":   "package a\n\nfunc broken( {\n",
+	})
+	_, err := Load(dir, off, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a syntax error")
+	}
+	if !strings.Contains(err.Error(), "a.go") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.22\n",
+		"a.go":   "package a\n\nvar x int = \"not an int\"\n",
+	})
+	_, err := Load(dir, off, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a type error")
+	}
+	// Depending on toolchain version the failure surfaces either from
+	// go list -export (package error) or from our own type-check pass;
+	// both must carry the offending position.
+	if !strings.Contains(err.Error(), "a.go") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+}
+
+func TestLoadMissingImport(t *testing.T) {
+	// An import that resolves to nothing: go list -e reports it as a
+	// package error on the root, which Load surfaces rather than
+	// handing analyzers a half-typed package.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.22\n",
+		"a.go":   "package a\n\nimport _ \"tmp/nonexistent\"\n",
+	})
+	_, err := Load(dir, off, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded with an unresolvable import")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.22\n",
+		"a.go":   "package a\n",
+	})
+	if _, err := Load(dir, off, "./does/not/exist/..."); err == nil {
+		t.Fatal("Load succeeded on a pattern matching nothing")
+	}
+}
+
+func TestLoadMultiPackageModule(t *testing.T) {
+	// A root importing a sibling package within the module: the sibling
+	// arrives as a dependency root too (pattern ./...), and the importer
+	// satisfies the cross-package reference from its export data.
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module tmp\n\ngo 1.22\n",
+		"a/a.go":      "package a\n\nimport \"tmp/b\"\n\nvar _ = b.V\n",
+		"b/b.go":      "package b\n\nvar V = 1\n",
+		"a/a_test.go": "package a\n\nfunc helper() {} // test files must not load\n",
+	})
+	pkgs, err := Load(dir, off, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("test file %s was loaded", name)
+			}
+		}
+	}
+}
+
+// TestLoadFixtureUnderWorkspace reproduces how analysistest loads
+// pass fixtures: a standalone module that sits below the repository's
+// go.work must resolve with the workspace off, and must fail to be a
+// workspace member when left on (the fixture modules are deliberately
+// not listed in go.work).
+func TestLoadFixtureUnderWorkspace(t *testing.T) {
+	fixture := filepath.Join("..", "passes", "poolpair", "testdata")
+	if _, err := os.Stat(filepath.Join(fixture, "go.mod")); err != nil {
+		t.Skipf("poolpair fixtures not present: %v", err)
+	}
+	pkgs, err := Load(fixture, off, "./...")
+	if err != nil {
+		t.Fatalf("Load with GOWORK=off: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.ImportPath, "fix") {
+			t.Errorf("fixture package %q does not resolve inside the fix module", p.ImportPath)
+		}
+	}
+}

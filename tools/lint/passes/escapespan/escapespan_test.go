@@ -1,0 +1,12 @@
+package escapespan_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/escapespan"
+)
+
+func TestEscapespan(t *testing.T) {
+	analysistest.Run(t, "testdata", escapespan.Analyzer)
+}

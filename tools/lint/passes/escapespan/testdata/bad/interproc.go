@@ -1,0 +1,47 @@
+package bad
+
+// Retentions hidden behind a call boundary, visible only through the
+// callee's interprocedural escape summary. The spanretain predecessor
+// treated every call argument as delivery and missed all of these.
+
+var stashed []byte
+
+func stash(v []byte) { // want stash:`retains\(0\)`
+	stashed = v
+}
+
+func passthrough(v []byte) []byte { // want passthrough:`returns\(0\)`
+	return v
+}
+
+func stashMatch(m Match) {
+	stash(m.Value) // want `passing a zero-copy span to stash, which retains it`
+}
+
+func launder(m Match) []byte {
+	v := passthrough(m.Value)
+	return v // want `returning a zero-copy span`
+}
+
+func launderDirect(m Match) []byte {
+	return passthrough(m.Value) // want `returning a zero-copy span`
+}
+
+type cell struct{ b []byte }
+
+func (c *cell) set(v []byte) {
+	c.b = v
+}
+
+func stashInMethod(c *cell, m Match) {
+	c.set(m.Value) // want `passing a zero-copy span to set, which retains it`
+}
+
+// Two summaries chained: hold retains via stash.
+func hold(v []byte) {
+	stash(v)
+}
+
+func stashChained(m Match) {
+	hold(m.Value) // want `passing a zero-copy span to hold, which retains it`
+}

@@ -87,3 +87,23 @@ func (notSpan) Raw() []byte { return make([]byte, 4) }
 func unrelatedRaw(n notSpan) []byte {
 	return n.Raw()
 }
+
+// Helpers that only read their argument, or copy before storing, are
+// safe delivery targets — their escape summaries say so.
+func measure(v []byte) int {
+	return len(v)
+}
+
+func deliverToHelper(m Match) int {
+	return measure(m.Value)
+}
+
+var keptCopy []byte
+
+func keepCopy(v []byte) {
+	keptCopy = append([]byte(nil), v...)
+}
+
+func storeCopy(m Match) {
+	keepCopy(m.Value)
+}

@@ -5,20 +5,25 @@
 // through them is at best a data race on a shared cache entry and at
 // worst a SIGSEGV on a PROT_READ mapping, and handing them (or the
 // Index itself) to a sync.Pool would let a later Get mutate or free
-// storage the mapping still owns. Flagged, with alias tracking through
-// assignments and re-slices:
+// storage the mapping still owns. Flagged:
 //
 //   - element writes through a Rows() view: rows[i] = v, rows[i] |= v,
 //     rows[i]++, including the inline ix.Rows()[i] = v form
 //   - copy(rows, ...) with a Rows() view as the destination
 //   - sync.Pool.Put of a Rows() view or of an Index value
+//   - passing a Rows() view to a function whose interprocedural
+//     summary (WritesParamFact) says it writes through that parameter
 //
-// An Index is any named type Index whose pointer method set has both
-// Rows and Mapped. The defining package itself is exempt: building the
-// masks in place and recycling unmapped rows is its job, and its
-// Release already routes mapped rows away from the pool. Copies out of
-// a view (dst := make(...); copy(dst, rows)) create caller-owned
-// buffers and stay silent.
+// The view-ness of a variable is a flow-sensitive taint over the
+// control-flow graph (analysis/cfg + analysis/dataflow): assigning a
+// Rows() call — or a call whose ReturnsRowsFact says it returns one —
+// taints the variable, and reassigning it to a private buffer kills the
+// taint, so the rebind-then-write pattern the flow-insensitive version
+// false-positived on is clean here. An Index is any named type Index
+// whose pointer method set has both Rows and Mapped. The defining
+// package itself is exempt: building the masks in place and recycling
+// unmapped rows is its job, and its Release already routes mapped rows
+// away from the pool.
 package mapownership
 
 import (
@@ -26,6 +31,10 @@ import (
 	"go/types"
 
 	"jsonski/tools/lint/analysis"
+	"jsonski/tools/lint/analysis/cfg"
+	"jsonski/tools/lint/analysis/dataflow"
+	"strconv"
+	"strings"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -34,74 +43,210 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// WritesParamFact summarizes a function for its callers: Params[i] is
+// true when the function writes through the elements of its i'th
+// (slice-typed) parameter, pools it, or hands it to something that
+// does. Passing a mapped view to such a function is as hazardous as
+// the write itself.
+type WritesParamFact struct {
+	Params []bool
+}
+
+func (*WritesParamFact) AFact() {}
+
+func (f *WritesParamFact) String() string {
+	return "writes(" + indexList(f.Params) + ")"
+}
+
+// ReturnsRowsFact marks functions whose i'th result may be a Rows()
+// view of a possibly mapped Index, so callers taint the variables they
+// bind it to.
+type ReturnsRowsFact struct {
+	Returns []bool
+}
+
+func (*ReturnsRowsFact) AFact() {}
+
+func (f *ReturnsRowsFact) String() string {
+	return "returnsrows(" + indexList(f.Returns) + ")"
+}
+
+// indexList renders the set bits of a summary vector ("0,2"), the
+// form the analysistest fact assertions match against.
+func indexList(v []bool) string {
+	var idx []string
+	for i, b := range v {
+		if b {
+			idx = append(idx, strconv.Itoa(i))
+		}
+	}
+	return strings.Join(idx, ",")
+}
+
 func run(pass *analysis.Pass) error {
+	// Summaries first, iterated so helpers that write or return views
+	// through other package-local helpers converge.
+	var decls []*ast.FuncDecl
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
 			}
-			checkFunc(pass, fd)
 		}
+	}
+	for round := 0; round < 5; round++ {
+		changed := false
+		for _, fd := range decls {
+			if summarize(pass, fd) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	set := rowsAliases(pass, fd)
+// taint is the dataflow fact: the set of objects currently holding a
+// possibly-mapped rows view.
+type taint map[types.Object]bool
 
-	// derived reports whether e is a view of some Index's rows: a direct
-	// x.Rows() call (possibly re-sliced) or an alias in set.
-	var derived func(e ast.Expr) bool
-	derived = func(e ast.Expr) bool {
-		switch x := analysis.Unparen(e).(type) {
-		case *ast.CallExpr:
-			return isRowsCall(pass, x)
-		case *ast.SliceExpr:
-			return derived(x.X)
-		case *ast.IndexExpr:
-			return derived(x.X)
-		case *ast.Ident:
-			obj := pass.Info.Uses[x]
-			if obj == nil {
-				obj = pass.Info.Defs[x]
+// taintSpec builds the flow spec. seed objects (parameter summaries)
+// are tainted at entry. With direct false, only taint flowing from the
+// seeds counts — direct Rows() calls are ignored, which is what a
+// parameter summary needs: a helper's own Rows() hazards are its own
+// findings, not part of its callers' contract.
+func taintSpec(pass *analysis.Pass, seed []types.Object, direct bool) dataflow.Spec[taint] {
+	return dataflow.Spec[taint]{
+		Dir: dataflow.Forward,
+		Entry: func() taint {
+			f := taint{}
+			for _, obj := range seed {
+				f[obj] = true
 			}
-			return obj != nil && set[obj]
-		}
-		return false
+			return f
+		},
+		Clone: func(f taint) taint {
+			out := make(taint, len(f))
+			for k := range f {
+				out[k] = true
+			}
+			return out
+		},
+		Join: func(dst, src taint) bool {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, f taint) {
+			apply := func(lhs, rhs ast.Expr) {
+				id, ok := analysis.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return
+				}
+				obj := objOf(pass, id)
+				if obj == nil {
+					return
+				}
+				if t := pass.TypeOf(rhs); t != nil {
+					if _, isSlice := types.Unalias(t).Underlying().(*types.Slice); isSlice && derived(pass, rhs, f, direct) {
+						f[obj] = true // gains a view
+						return
+					}
+				}
+				delete(f, obj) // rebound to something private: taint dies
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.AssignStmt:
+					if len(m.Lhs) == len(m.Rhs) {
+						for i := range m.Lhs {
+							apply(m.Lhs[i], m.Rhs[i])
+						}
+					}
+				case *ast.ValueSpec:
+					if len(m.Names) == len(m.Values) {
+						for i := range m.Names {
+							apply(m.Names[i], m.Values[i])
+						}
+					}
+				}
+				return true
+			})
+		},
 	}
-	reportWrite := func(pos ast.Node) {
-		pass.Reportf(pos.Pos(), "write through bitmap rows of a possibly mapped Index; mapped masks are a shared read-only view — build into a private buffer instead")
-	}
+}
 
-	ast.Inspect(fd, func(n ast.Node) bool {
-		switch n := n.(type) {
+// hazard is one flagged operation, found by scanHazards.
+type hazard struct {
+	pos  ast.Node
+	kind string // "write", "copy", "poolrows", "poolindex", "helper"
+	name string // callee name for "helper"
+}
+
+// scanHazards inspects one CFG node under the fact holding before it.
+func scanHazards(pass *analysis.Pass, n ast.Node, f taint, direct bool, emit func(hazard)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
 		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				if ix, ok := analysis.Unparen(lhs).(*ast.IndexExpr); ok && derived(ix.X) {
-					reportWrite(lhs)
+			for _, lhs := range m.Lhs {
+				if ix, ok := analysis.Unparen(lhs).(*ast.IndexExpr); ok && derived(pass, ix.X, f, direct) {
+					emit(hazard{pos: lhs, kind: "write"})
 				}
 			}
 		case *ast.IncDecStmt:
-			if ix, ok := analysis.Unparen(n.X).(*ast.IndexExpr); ok && derived(ix.X) {
-				reportWrite(n)
+			if ix, ok := analysis.Unparen(m.X).(*ast.IndexExpr); ok && derived(pass, ix.X, f, direct) {
+				emit(hazard{pos: m, kind: "write"})
 			}
 		case *ast.CallExpr:
-			switch analysis.CalleeName(n) {
+			switch name := analysis.CalleeName(m); name {
 			case "copy":
-				if isBuiltinCopy(pass, n) && len(n.Args) > 0 && derived(n.Args[0]) {
-					pass.Reportf(n.Pos(), "copy into bitmap rows of a possibly mapped Index; copy out of the view into a caller-owned buffer instead")
+				if isBuiltinCopy(pass, m) && len(m.Args) > 0 && derived(pass, m.Args[0], f, direct) {
+					emit(hazard{pos: m, kind: "copy"})
 				}
 			case "Put":
-				sel, ok := analysis.Unparen(n.Fun).(*ast.SelectorExpr)
+				sel, ok := analysis.Unparen(m.Fun).(*ast.SelectorExpr)
 				if !ok || !isSyncPool(pass.TypeOf(sel.X)) {
 					break
 				}
-				for _, arg := range n.Args {
-					if derived(arg) {
-						pass.Reportf(n.Pos(), "bitmap rows of a possibly mapped Index must never be pooled; only their defining package may recycle unmapped rows")
+				for _, arg := range m.Args {
+					if derived(pass, arg, f, direct) {
+						emit(hazard{pos: m, kind: "poolrows"})
 					} else if isIndexType(pass, pass.TypeOf(arg)) {
-						pass.Reportf(n.Pos(), "a possibly mapped Index must never reach a sync.Pool; release it through its refcount instead")
+						emit(hazard{pos: m, kind: "poolindex"})
+					}
+				}
+			default:
+				var fact WritesParamFact
+				if callee := calleeFunc(pass, m); callee != nil && pass.ImportObjectFact(callee, &fact) {
+					for i, arg := range m.Args {
+						if i < len(fact.Params) && fact.Params[i] && derived(pass, arg, f, direct) {
+							emit(hazard{pos: m, kind: "helper", name: name})
+						}
 					}
 				}
 			}
@@ -110,82 +255,143 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// rowsAliases computes the objects holding a Rows() view in fd: seeds
-// assigned directly from Rows() plus the closure over slice-typed
-// ident-to-ident assignments (v := rows, v2 := rows[a:b], ...).
-func rowsAliases(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	type edge struct{ from, to types.Object }
-	var edges []edge
-	set := map[types.Object]bool{}
-
-	objOf := func(id *ast.Ident) types.Object {
-		if obj := pass.Info.Defs[id]; obj != nil {
-			return obj
-		}
-		return pass.Info.Uses[id]
-	}
-	addAssign := func(lhs, rhs ast.Expr) {
-		id, ok := analysis.Unparen(lhs).(*ast.Ident)
-		if !ok || id.Name == "_" {
-			return
-		}
-		lobj := objOf(id)
-		if lobj == nil {
-			return
-		}
-		if t := pass.TypeOf(rhs); t == nil {
-			return
-		} else if _, ok := types.Unalias(t).Underlying().(*types.Slice); !ok {
-			return // a copied element (w := rows[i]) is the caller's to mutate
-		}
-		if fromRowsCall(pass, rhs) {
-			set[lobj] = true
-			return
-		}
-		if r := analysis.RootIdent(rhs); r != nil {
-			if robj := objOf(r); robj != nil {
-				edges = append(edges, edge{from: robj, to: lobj})
-			}
-		}
-	}
-
-	ast.Inspect(fd, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if len(n.Lhs) == len(n.Rhs) {
-				for i := range n.Lhs {
-					addAssign(n.Lhs[i], n.Rhs[i])
-				}
-			}
-		case *ast.ValueSpec:
-			if len(n.Names) == len(n.Values) {
-				for i := range n.Names {
-					addAssign(n.Names[i], n.Values[i])
-				}
-			}
-		}
-		return true
+// checkBody reports every hazard in one function body.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	spec := taintSpec(pass, nil, true)
+	res := dataflow.Run(g, spec)
+	res.Replay(g, spec, func(b *cfg.Block, n ast.Node, before taint) {
+		scanHazards(pass, n, before, true, func(h hazard) {
+			report(pass, h)
+		})
 	})
+}
 
-	for changed := true; changed; {
-		changed = false
-		for _, e := range edges {
-			if set[e.from] && !set[e.to] {
-				set[e.to] = true
+func report(pass *analysis.Pass, h hazard) {
+	switch h.kind {
+	case "write":
+		pass.Reportf(h.pos.Pos(), "write through bitmap rows of a possibly mapped Index; mapped masks are a shared read-only view — build into a private buffer instead")
+	case "copy":
+		pass.Reportf(h.pos.Pos(), "copy into bitmap rows of a possibly mapped Index; copy out of the view into a caller-owned buffer instead")
+	case "poolrows":
+		pass.Reportf(h.pos.Pos(), "bitmap rows of a possibly mapped Index must never be pooled; only their defining package may recycle unmapped rows")
+	case "poolindex":
+		pass.Reportf(h.pos.Pos(), "a possibly mapped Index must never reach a sync.Pool; release it through its refcount instead")
+	case "helper":
+		pass.Reportf(h.pos.Pos(), "%s writes through the bitmap rows of a possibly mapped Index passed to it; mapped masks are a shared read-only view", h.name)
+	}
+}
+
+// summarize computes fd's WritesParamFact and ReturnsRowsFact and
+// exports whichever changed, reporting whether either did.
+func summarize(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fnObj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fnObj == nil {
+		return false
+	}
+	sig, _ := fnObj.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	changed := false
+
+	// WritesParam: seed each slice parameter as tainted and see whether
+	// any hazard reaches it.
+	var sliceParams []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		if _, ok := types.Unalias(sig.Params().At(i).Type()).Underlying().(*types.Slice); ok {
+			sliceParams = append(sliceParams, i)
+		}
+	}
+	if len(sliceParams) > 0 {
+		writes := make([]bool, sig.Params().Len())
+		for _, i := range sliceParams {
+			obj := sig.Params().At(i)
+			g := cfg.New(fd.Body)
+			spec := taintSpec(pass, []types.Object{obj}, false)
+			res := dataflow.Run(g, spec)
+			found := false
+			res.Replay(g, spec, func(b *cfg.Block, n ast.Node, before taint) {
+				scanHazards(pass, n, before, false, func(hazard) { found = true })
+			})
+			writes[i] = found
+		}
+		var old WritesParamFact
+		if !pass.ImportObjectFact(fnObj, &old) || !equalBools(old.Params, writes) {
+			pass.ExportObjectFact(fnObj, &WritesParamFact{Params: writes})
+			changed = true
+		}
+	}
+
+	// ReturnsRows: does any return hand back a view?
+	if sig.Results().Len() > 0 {
+		returns := make([]bool, sig.Results().Len())
+		g := cfg.New(fd.Body)
+		spec := taintSpec(pass, nil, true)
+		res := dataflow.Run(g, spec)
+		res.Replay(g, spec, func(b *cfg.Block, n ast.Node, before taint) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for i, r := range ret.Results {
+				if i < len(returns) && derived(pass, r, before, true) {
+					returns[i] = true
+				}
+			}
+		})
+		any := false
+		for _, b := range returns {
+			any = any || b
+		}
+		if any {
+			var old ReturnsRowsFact
+			if !pass.ImportObjectFact(fnObj, &old) || !equalBools(old.Returns, returns) {
+				pass.ExportObjectFact(fnObj, &ReturnsRowsFact{Returns: returns})
 				changed = true
 			}
 		}
 	}
-	return set
+	return changed
 }
 
-// fromRowsCall reports whether e is a Rows() call, possibly re-sliced.
-func fromRowsCall(pass *analysis.Pass, e ast.Expr) bool {
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// derived reports whether e is a view of some Index's rows under the
+// current taint: a direct x.Rows() call (possibly re-sliced or
+// indexed), a call summarized as returning one, or a tainted variable.
+func derived(pass *analysis.Pass, e ast.Expr, f taint, direct bool) bool {
 	switch x := analysis.Unparen(e).(type) {
 	case *ast.CallExpr:
-		return isRowsCall(pass, x)
+		if !direct {
+			return false
+		}
+		if isRowsCall(pass, x) {
+			return true
+		}
+		var fact ReturnsRowsFact
+		if callee := calleeFunc(pass, x); callee != nil && pass.ImportObjectFact(callee, &fact) {
+			// Single-value use of a call: result 0 carries the view.
+			return len(fact.Returns) > 0 && fact.Returns[0]
+		}
+		return false
 	case *ast.SliceExpr:
-		return fromRowsCall(pass, x.X)
+		return derived(pass, x.X, f, direct)
+	case *ast.IndexExpr:
+		return derived(pass, x.X, f, direct)
+	case *ast.Ident:
+		obj := objOf(pass, x)
+		return obj != nil && f[obj]
 	}
 	return false
 }
@@ -229,4 +435,23 @@ func isBuiltinCopy(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
 	return isBuiltin
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := analysis.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
 }

@@ -1,0 +1,40 @@
+package bad
+
+import "fix/stream"
+
+// Shapes the flow-insensitive analyzer provably missed: the hazard is
+// hidden behind a call boundary, visible only through the helper's
+// interprocedural summary.
+
+// scrub writes through its parameter; passing it mapped rows is the
+// write. The old checker did not look inside callees at all.
+func writeViaHelper(ix *stream.Index) {
+	scrub(ix.Rows()) // want `scrub writes through the bitmap rows`
+}
+
+func scrub(rows []uint64) { // want scrub:`writes\(0\)`
+	for i := range rows {
+		rows[i] = 0
+	}
+}
+
+// view launders the Rows() call through a return; the old checker only
+// seeded taint from syntactic x.Rows() assignments.
+func writeViaReturnedView(ix *stream.Index) {
+	rows := view(ix)
+	rows[0] = 1 // want `write through bitmap rows`
+}
+
+func view(ix *stream.Index) []uint64 { // want view:`returnsrows\(0\)`
+	return ix.Rows()
+}
+
+// Two summaries chained: wipe writes via scrub, and the view arrives
+// via view.
+func writeViaBoth(ix *stream.Index) {
+	wipe(view(ix)) // want `wipe writes through the bitmap rows`
+}
+
+func wipe(rows []uint64) {
+	scrub(rows)
+}

@@ -41,3 +41,29 @@ func poolPrivate() {
 func release(ix *stream.Index) {
 	ix.Release()
 }
+
+// Rebinding the variable to a private buffer kills the view: the write
+// afterwards touches caller-owned memory. (The flow-insensitive
+// version of this check flagged it.)
+func reassigned(ix *stream.Index) uint64 {
+	rows := ix.Rows()
+	w := rows[0]
+	rows = make([]uint64, 8)
+	rows[0] = w
+	pool.Put(rows)
+	return w
+}
+
+// A helper that only reads its parameter is no hazard to hand a view
+// to.
+func sum(rows []uint64) uint64 {
+	var s uint64
+	for _, w := range rows {
+		s |= w
+	}
+	return s
+}
+
+func readViaHelper(ix *stream.Index) uint64 {
+	return sum(ix.Rows())
+}

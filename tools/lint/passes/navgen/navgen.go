@@ -1,0 +1,357 @@
+// Package navgen enforces the on-demand navigation contract of the
+// lazy document API (DESIGN §5i, the PR that added Document/Value):
+// navigation values index into the buffer their Document was bound to
+// when they were created, so
+//
+//   - a Value obtained before a rebind-style operation on its document
+//     (Reset, ResetIndexed, Bind, BindIndexed, BindWindow, Close) must
+//     not be used after it — its offsets point into the previous
+//     buffer, which may be gone or reused;
+//   - the deferred-error terminals (Raw, String, Int, Float, Bool,
+//     Unmarshal) must not have their error blank-discarded unless the
+//     value was gated with Err() or Exists() on that path — the
+//     navigation error a mis-typed hop parked on the value is lost
+//     otherwise.
+//
+// Both checks run as a forward dataflow over the control-flow graph
+// (analysis/cfg + analysis/dataflow), so a Value re-derived after the
+// rebind (the per-record loop shape: Reset, Root, navigate) is clean,
+// while a Value that is stale on only one branch arm is still flagged.
+// The package defining the document type is exempt — the library's own
+// internals manage the binding they implement.
+package navgen
+
+import (
+	"go/ast"
+	"go/types"
+
+	"jsonski/tools/lint/analysis"
+	"jsonski/tools/lint/analysis/cfg"
+	"jsonski/tools/lint/analysis/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "navgen",
+	Doc:  "on-demand navigation values must not outlive their document's binding, and terminal errors must not be discarded",
+	Run:  run,
+}
+
+func isInvalidator(name string) bool {
+	switch name {
+	case "Reset", "ResetIndexed", "Bind", "BindIndexed", "BindWindow", "Close":
+		return true
+	}
+	return false
+}
+
+func isTerminal(name string) bool {
+	switch name {
+	case "Raw", "String", "Int", "Float", "Bool", "Unmarshal":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isDocType reports whether t is document-like: a named type whose
+// pointer method set has Root and a rebinding operation. Types defined
+// in the package under analysis are exempt.
+func isDocType(pass *analysis.Pass, t types.Type) bool {
+	n := analysis.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg() == pass.Pkg {
+		return false
+	}
+	if !analysis.HasPtrMethod(n, "Root") {
+		return false
+	}
+	return analysis.HasPtrMethod(n, "Reset") || analysis.HasPtrMethod(n, "Bind")
+}
+
+// isValueType reports whether t is navigation-value-like: a named type
+// whose method set has both Err and Raw. Defining package exempt.
+func isValueType(pass *analysis.Pass, t types.Type) bool {
+	n := analysis.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg() == pass.Pkg {
+		return false
+	}
+	return analysis.HasPtrMethod(n, "Err") && analysis.HasPtrMethod(n, "Raw")
+}
+
+// fact is the dataflow state: the set of navigation values known stale
+// (their document rebound since derivation) and the set gated by an
+// Err()/Exists() check.
+type fact struct {
+	stale   map[types.Object]bool
+	checked map[types.Object]bool
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// docOf maps each navigation value variable to the document variable
+	// it (transitively) derives from — a flow-insensitive binding layer
+	// under the flow-sensitive staleness.
+	docOf := map[types.Object]types.Object{}
+
+	// deriveDoc resolves the document behind an expression: d.Root(),
+	// v.Get("x") for an already-bound v, or a plain copy of one.
+	var deriveDoc func(e ast.Expr) types.Object
+	deriveDoc = func(e ast.Expr) types.Object {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := objOf(pass, x)
+			if obj == nil {
+				return nil
+			}
+			if isDocType(pass, obj.Type()) {
+				return obj
+			}
+			return docOf[obj]
+		case *ast.CallExpr:
+			if sel, ok := analysis.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if isValueType(pass, pass.TypeOf(x)) {
+					return deriveDoc(sel.X)
+				}
+			}
+		case *ast.SelectorExpr:
+			return deriveDoc(x.X)
+		}
+		return nil
+	}
+
+	anyValues := false
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != body {
+				return true // literals share the parent's doc variables
+			}
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Lhs) != len(a.Rhs) {
+				return true
+			}
+			for i := range a.Lhs {
+				id, ok := analysis.Unparen(a.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(pass, id)
+				if obj == nil || docOf[obj] != nil || !isValueType(pass, obj.Type()) {
+					continue
+				}
+				if d := deriveDoc(a.Rhs[i]); d != nil {
+					docOf[obj] = d
+					anyValues = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Without bound values the only check left is terminal-error
+	// discarding, which needs no binding map — but short-circuit when
+	// there is nothing value-typed at all.
+	hasTerminals := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			isTerminal(sel.Sel.Name) && isValueType(pass, pass.TypeOf(sel.X)) {
+			hasTerminals = true
+		}
+		return true
+	})
+	if !anyValues && !hasTerminals {
+		return
+	}
+
+	g := cfg.New(body)
+	spec := dataflow.Spec[*fact]{
+		Dir: dataflow.Forward,
+		Entry: func() *fact {
+			return &fact{stale: map[types.Object]bool{}, checked: map[types.Object]bool{}}
+		},
+		Clone: func(f *fact) *fact {
+			out := &fact{stale: map[types.Object]bool{}, checked: map[types.Object]bool{}}
+			for k := range f.stale {
+				out.stale[k] = true
+			}
+			for k := range f.checked {
+				out.checked[k] = true
+			}
+			return out
+		},
+		Join: func(dst, src *fact) bool {
+			changed := false
+			for k := range src.stale {
+				if !dst.stale[k] {
+					dst.stale[k] = true
+					changed = true
+				}
+			}
+			// checked joins leniently (union): gated on any path is enough
+			// to stay silent — the lint prefers missed gates to noise.
+			for k := range src.checked {
+				if !dst.checked[k] {
+					dst.checked[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, f *fact) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					sel, ok := analysis.Unparen(m.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recv := receiverObj(pass, sel.X)
+					if recv == nil {
+						return true
+					}
+					if isInvalidator(sel.Sel.Name) && isDocType(pass, recv.Type()) {
+						for v, d := range docOf {
+							if d == recv {
+								f.stale[v] = true
+							}
+						}
+					}
+					if (sel.Sel.Name == "Err" || sel.Sel.Name == "Exists") && isValueType(pass, recv.Type()) {
+						f.checked[recv] = true
+					}
+				case *ast.AssignStmt:
+					if len(m.Lhs) != len(m.Rhs) {
+						return true
+					}
+					for i := range m.Lhs {
+						id, ok := analysis.Unparen(m.Lhs[i]).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := objOf(pass, id)
+						if obj == nil || docOf[obj] == nil {
+							continue
+						}
+						// Re-derivation after the rebind makes the value
+						// fresh again — and un-gated.
+						delete(f.stale, obj)
+						delete(f.checked, obj)
+					}
+				}
+				return true
+			})
+		},
+	}
+	res := dataflow.Run(g, spec)
+
+	reported := map[ast.Node]bool{}
+	res.Replay(g, spec, func(b *cfg.Block, n ast.Node, before *fact) {
+		// The fact must evolve WITHIN the node for correct intra-node
+		// sequencing (d.Reset(b); use is two nodes, but v := d.Root()
+		// rebinding and using v in one statement must see the pre-state
+		// for uses textually before the assign). Statement granularity is
+		// enough here: check uses against the before-state, which matches
+		// how the old analyzers read.
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				sel, ok := analysis.Unparen(m.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv := receiverObj(pass, sel.X)
+				// Stale use: any method call on a stale value.
+				if recv != nil && before.stale[recv] && docOf[recv] != nil && !reported[m] {
+					reported[m] = true
+					pass.Reportf(m.Pos(), "value %q is used after its document %q was rebound; offsets point into the previous buffer — re-derive it from Root()",
+						recv.Name(), docOf[recv].Name())
+					return true
+				}
+				// Terminal with a discarded error on an un-gated value.
+				if isTerminal(sel.Sel.Name) && isValueType(pass, pass.TypeOf(sel.X)) {
+					gated := recv != nil && before.checked[recv]
+					if !gated && discardsError(pass, n, m) && !reported[m] {
+						reported[m] = true
+						pass.Reportf(m.Pos(), "%s discards its error; a mis-typed or failed navigation is silently lost — check the error or gate with Err()/Exists() first",
+							terminalLabel(recv, sel.Sel.Name))
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+func terminalLabel(recv types.Object, method string) string {
+	if recv != nil {
+		return recv.Name() + "." + method + "()"
+	}
+	return method + "()"
+}
+
+// discardsError reports whether the terminal call's error result is
+// thrown away inside stmt: the call is an expression statement, or the
+// error position of its assignment is blank.
+func discardsError(pass *analysis.Pass, stmt ast.Node, call *ast.CallExpr) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return analysis.Unparen(s.X) == call
+	case *ast.AssignStmt:
+		// raw, _ := v.Raw() — the two-result terminals put error last;
+		// Unmarshal has only the error.
+		if len(s.Rhs) == 1 && analysis.Unparen(s.Rhs[0]) == call {
+			last := analysis.Unparen(s.Lhs[len(s.Lhs)-1])
+			id, ok := last.(*ast.Ident)
+			return ok && id.Name == "_"
+		}
+	case *ast.GoStmt:
+		return analysis.Unparen(s.Call) == call
+	case *ast.DeferStmt:
+		return analysis.Unparen(s.Call) == call
+	}
+	return false
+}
+
+// receiverObj resolves the variable behind a method receiver
+// expression (v, (v), *v, &v).
+func receiverObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		return objOf(pass, x)
+	case *ast.StarExpr:
+		return receiverObj(pass, x.X)
+	case *ast.UnaryExpr:
+		return receiverObj(pass, x.X)
+	}
+	return nil
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

@@ -1,0 +1,12 @@
+package navgen_test
+
+import (
+	"testing"
+
+	"jsonski/tools/lint/analysis/analysistest"
+	"jsonski/tools/lint/passes/navgen"
+)
+
+func TestNavgen(t *testing.T) {
+	analysistest.Run(t, "testdata", navgen.Analyzer)
+}

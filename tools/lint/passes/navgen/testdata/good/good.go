@@ -1,0 +1,58 @@
+package good
+
+import "fix/ondemand"
+
+// The canonical per-record loop: rebind, then re-derive from Root().
+// The value assigned after the Reset is fresh — flow sensitivity is
+// what keeps this silent.
+func rebindLoop(d *ondemand.Document, bufs [][]byte) {
+	for _, b := range bufs {
+		d.Reset(b)
+		v := d.Root().Get("x")
+		if v.Err() != nil {
+			continue
+		}
+		raw, _ := v.Raw() // gated by the Err() check above
+		_ = raw
+	}
+}
+
+// Error captured and propagated: nothing discarded.
+func handledErr(d *ondemand.Document, data []byte) (string, error) {
+	d.Reset(data)
+	v := d.Root().Get("x")
+	s, err := v.String()
+	if err != nil {
+		return "", err
+	}
+	return s, nil
+}
+
+// Exists() gates the blank-error terminal.
+func existsGate(d *ondemand.Document, data []byte) int64 {
+	d.Reset(data)
+	v := d.Root().Index(0)
+	if !v.Exists() {
+		return 0
+	}
+	n, _ := v.Int()
+	return n
+}
+
+// Rebinding after the last use of the value is fine.
+func closeAfterUse(d *ondemand.Document, data []byte) error {
+	d.Reset(data)
+	v := d.Root()
+	if v.Err() != nil {
+		return v.Err()
+	}
+	return d.Close()
+}
+
+// Two documents: rebinding one does not stale the other's values.
+func twoDocs(d1, d2 *ondemand.Document, a, b []byte) error {
+	d1.Reset(a)
+	v := d1.Root()
+	d2.Reset(b)
+	return v.Unmarshal(new(int))
+}

@@ -2,21 +2,26 @@
 // refcounted resources (DESIGN §5a/§5d): every sync.Pool.Get and every
 // call producing a refcounted value — a type with both Acquire and
 // Release in its pointer method set, like stream.Index — must reach a
-// Release/Put in the acquiring function, or visibly hand the value's
-// ownership elsewhere (return it, store it in a structure, send it).
-// A release that only happens on the straight-line path while an
-// earlier return can bail out first is flagged too: that is the leak
-// `defer` exists to close, including the panic paths the refcount
-// tests cannot reach.
+// Release/Put on every non-panic path through the acquiring function,
+// or visibly hand the value's ownership elsewhere (return it, store it
+// in a structure, send it). The check is a path-sensitive must-reach-
+// release dataflow over the control-flow graph (analysis/ownership), so
+// the shapes the first, syntactic version of this analyzer provably
+// missed — a release present only in one branch arm, or an early
+// return that bails out before a later defer registers — are leaks
+// here, not coincidences of token positions. Helpers that release a
+// parameter on every path carry an interprocedural ConsumesFact, so
+// handing a value to one counts as the release it is.
 package poolpair
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 
 	"jsonski/tools/lint/analysis"
+	"jsonski/tools/lint/analysis/ownership"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -25,161 +30,61 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// acquire is one site that takes ownership of a pooled/refcounted value.
-type acquire struct {
-	pos  token.Pos
-	what string       // description for diagnostics
-	obj  types.Object // bound variable, nil when the result was consumed inline
-	ok   bool         // satisfied inline (chained .Release(), returned, ...)
-}
-
 func run(pass *analysis.Pass) error {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkFunc(pass, fd)
-		}
-	}
+	ownership.Check(pass, rules, messages)
 	return nil
 }
 
-// checkFunc analyzes one top-level function body, nested function
-// literals included: a defer closure releasing on behalf of its parent
-// is part of the same pairing.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	var acquires []*acquire
-
-	// aliasEdges records v := w style value flow (through parens, type
-	// asserts, slicing, indexing, deref, and address-of) so a release on
-	// any alias of the acquired value counts.
-	type edge struct{ from, to types.Object }
-	var edges []edge
-
-	addAssign := func(lhs ast.Expr, rhs ast.Expr) {
-		l, ok := analysis.Unparen(lhs).(*ast.Ident)
-		if !ok {
-			return
-		}
-		lobj := pass.Info.Defs[l]
-		if lobj == nil {
-			lobj = pass.Info.Uses[l]
-		}
-		r := analysis.RootIdent(rhs)
-		if lobj == nil || r == nil {
-			return
-		}
-		robj := pass.Info.Uses[r]
-		if robj == nil {
-			robj = pass.Info.Defs[r]
-		}
-		if robj == nil {
-			return
-		}
-		edges = append(edges, edge{from: robj, to: lobj})
-	}
-
-	ast.Inspect(fd, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if len(n.Lhs) == len(n.Rhs) {
-				for i := range n.Lhs {
-					addAssign(n.Lhs[i], n.Rhs[i])
-				}
-			}
-		case *ast.ValueSpec:
-			if len(n.Names) == len(n.Values) {
-				for i := range n.Names {
-					addAssign(n.Names[i], n.Values[i])
-				}
-			}
-		case *ast.CallExpr:
-			if what, isAcq := acquireKind(pass, n); isAcq {
-				acquires = append(acquires, bindAcquire(pass, fd, n, what))
-			}
-		}
-		return true
-	})
-	if len(acquires) == 0 {
-		return
-	}
-
-	aliases := func(seed types.Object) map[types.Object]bool {
-		set := map[types.Object]bool{seed: true}
-		for changed := true; changed; {
-			changed = false
-			for _, e := range edges {
-				if set[e.from] && !set[e.to] {
-					set[e.to] = true
-					changed = true
-				}
-			}
-		}
-		return set
-	}
-
-	for _, acq := range acquires {
-		if acq.ok {
-			continue
-		}
-		if acq.obj == nil {
-			pass.Reportf(acq.pos, "result of %s is dropped without a Release/Put", acq.what)
-			continue
-		}
-		set := aliases(acq.obj)
-		rel := findReleases(pass, fd, set)
-		if transfersOwnership(pass, fd, set) {
-			continue // returned / stored / sent: owner is elsewhere now
-		}
-		if len(rel.calls) == 0 {
-			pass.Reportf(acq.pos, "%s is never released: no Release/Put of %q on any path (and it does not escape)", acq.what, acq.obj.Name())
-			continue
-		}
-		if !rel.anyDeferred {
-			// Straight-line release only: a return (or panic) between the
-			// acquire and the first release leaks the value.
-			first := rel.calls[0]
-			for _, c := range rel.calls {
-				if c < first {
-					first = c
-				}
-			}
-			if pos, leak := returnBetween(fd, acq.pos, first); leak {
-				pass.Reportf(pos, "return leaks %q acquired at line %d; release it with defer",
-					acq.obj.Name(), pass.Fset.Position(acq.pos).Line)
-			}
-		}
-	}
+var rules = ownership.Rules{
+	Classify:      classify,
+	IsTrackedType: func(pass *analysis.Pass, t types.Type) bool { return isRefcounted(t) },
+	ReleaseRecv:   isReleaseName,
+	ReleaseArg:    isReleaseName,
+	ArgHandOff:    false,
 }
 
-// acquireKind classifies a call as an ownership-taking acquire.
-func acquireKind(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+var messages = ownership.Messages{
+	Dropped: func(what string) string {
+		return fmt.Sprintf("result of %s is dropped without a Release/Put", what)
+	},
+	Never: func(what, name string) string {
+		return fmt.Sprintf("%s is never released: no Release/Put of %q on any path (and it does not escape)", what, name)
+	},
+	LeakReturn: func(name string, acquireLine int) string {
+		return fmt.Sprintf("return leaks %q acquired at line %d; release it with defer", name, acquireLine)
+	},
+	LeakMixed: func(what, name string) string {
+		return fmt.Sprintf("%q from %s is released on some paths but not all; release it with defer", name, what)
+	},
+}
+
+// classify recognizes ownership-taking acquires: sync.Pool.Get, an
+// Acquire() on a refcounted receiver (ownership binds to the receiver),
+// and any call returning a refcounted value.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (string, ast.Expr, bool) {
 	name := analysis.CalleeName(call)
 	switch name {
 	case "Get":
 		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 			if isSyncPool(pass.TypeOf(sel.X)) {
-				return "sync.Pool.Get", true
+				return "sync.Pool.Get", nil, true
 			}
 		}
-	case "Acquire", "Release", "Put":
-		// Acquire returns nothing (handled via the receiver below) and
-		// Release/Put are the pairing side, never an acquire.
-		if name == "Acquire" {
-			if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-				if _, isLocal := analysis.Unparen(sel.X).(*ast.Ident); isLocal && isRefcounted(pass.TypeOf(sel.X)) {
-					return "Acquire", true
-				}
+	case "Acquire":
+		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isLocal := analysis.Unparen(sel.X).(*ast.Ident); isLocal && isRefcounted(pass.TypeOf(sel.X)) {
+				return "Acquire", sel.X, true
 			}
 		}
-		return "", false
+		return "", nil, false
+	case "Release", "Put":
+		// The pairing side, never an acquire.
+		return "", nil, false
 	}
 	if t := pass.TypeOf(call); t != nil && isRefcounted(t) {
-		return name + " (returns a refcounted value)", true
+		return name + " (returns a refcounted value)", nil, true
 	}
-	return "", false
+	return "", nil, false
 }
 
 func isSyncPool(t types.Type) bool {
@@ -195,94 +100,6 @@ func isRefcounted(t types.Type) bool {
 	return n != nil && analysis.HasPtrMethod(n, "Acquire") && analysis.HasPtrMethod(n, "Release")
 }
 
-// bindAcquire resolves what happens to the call's result: bound to a
-// variable, consumed inline by a chained release, or transferred.
-func bindAcquire(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, what string) *acquire {
-	acq := &acquire{pos: call.Pos(), what: what}
-
-	// Acquire() has no result: track its receiver variable.
-	if analysis.CalleeName(call) == "Acquire" {
-		sel := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
-		id := analysis.Unparen(sel.X).(*ast.Ident)
-		acq.obj = pass.Info.Uses[id]
-		if acq.obj == nil {
-			acq.ok = true
-		}
-		return acq
-	}
-
-	path := enclosingPath(fd, call)
-	// path[len-1] == call; walk outward through value-preserving wrappers.
-	i := len(path) - 2
-	for i >= 0 {
-		if _, ok := path[i].(*ast.TypeAssertExpr); ok {
-			i--
-			continue
-		}
-		if _, ok := path[i].(*ast.ParenExpr); ok {
-			i--
-			continue
-		}
-		break
-	}
-	if i < 0 {
-		return acq
-	}
-	switch parent := path[i].(type) {
-	case *ast.AssignStmt:
-		// v := acquire() (also v, ok :=, and = forms): bind the matching LHS.
-		for j, rhs := range parent.Rhs {
-			if containsNode(rhs, call) && j < len(parent.Lhs) {
-				if id, ok := analysis.Unparen(parent.Lhs[j]).(*ast.Ident); ok && id.Name != "_" {
-					if obj := pass.Info.Defs[id]; obj != nil {
-						acq.obj = obj
-					} else if obj := pass.Info.Uses[id]; obj != nil {
-						acq.obj = obj
-					}
-				}
-			}
-		}
-		if acq.obj == nil {
-			// Assigned into a field, map, or blank: ownership moved into a
-			// structure (or was explicitly discarded into _, which Release
-			// can never reach — but blank discard of a refcounted value is
-			// its own obvious smell and stays visible in review).
-			acq.ok = true
-		}
-	case *ast.ValueSpec:
-		for j, v := range parent.Values {
-			if containsNode(v, call) && j < len(parent.Names) {
-				if obj := pass.Info.Defs[parent.Names[j]]; obj != nil {
-					acq.obj = obj
-				}
-			}
-		}
-		if acq.obj == nil {
-			acq.ok = true
-		}
-	case *ast.SelectorExpr:
-		// acquire().Release() / .Put(...): chained consumption.
-		if i-1 >= 0 {
-			if outer, ok := path[i-1].(*ast.CallExpr); ok && isReleaseName(parent.Sel.Name) && analysis.Unparen(outer.Fun) == parent {
-				acq.ok = true
-				return acq
-			}
-		}
-		// Any other chained use (acquire().Data()...) drops the reference.
-	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.CallExpr, *ast.SendStmt:
-		// Returned, stored into a literal, passed along, or sent:
-		// ownership is the consumer's problem.
-		acq.ok = true
-	}
-	return acq
-}
-
-// releaseSites summarizes the Release/Put calls that reach an alias set.
-type releaseSites struct {
-	calls       []token.Pos
-	anyDeferred bool
-}
-
 func isReleaseName(name string) bool {
 	switch name {
 	case "Release", "Put":
@@ -291,158 +108,4 @@ func isReleaseName(name string) bool {
 	l := strings.ToLower(name)
 	return strings.HasPrefix(l, "put") || strings.HasPrefix(l, "release") ||
 		strings.HasPrefix(l, "free") || strings.HasPrefix(l, "recycle")
-}
-
-func findReleases(pass *analysis.Pass, fd *ast.FuncDecl, set map[types.Object]bool) releaseSites {
-	var out releaseSites
-	inSet := func(e ast.Expr) bool {
-		r := analysis.RootIdent(e)
-		if r == nil {
-			return false
-		}
-		obj := pass.Info.Uses[r]
-		if obj == nil {
-			obj = pass.Info.Defs[r]
-		}
-		return obj != nil && set[obj]
-	}
-	analysis.InspectStack([]*ast.File{wrapFile(fd)}, func(n ast.Node, stack []ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name := analysis.CalleeName(call)
-		if !isReleaseName(name) {
-			return true
-		}
-		hit := false
-		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok && inSet(sel.X) {
-			hit = true // v.Release()
-		}
-		for _, arg := range call.Args {
-			if inSet(arg) {
-				hit = true // pool.Put(v), putLineBuf(v)
-			}
-		}
-		if hit {
-			out.calls = append(out.calls, call.Pos())
-			for _, anc := range stack {
-				if _, ok := anc.(*ast.DeferStmt); ok {
-					out.anyDeferred = true
-				}
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// transfersOwnership reports whether any alias escapes the function:
-// returned, placed in a composite literal, assigned through a selector
-// or index expression, or sent on a channel.
-func transfersOwnership(pass *analysis.Pass, fd *ast.FuncDecl, set map[types.Object]bool) bool {
-	inSet := func(e ast.Expr) bool {
-		r := analysis.RootIdent(e)
-		if r == nil {
-			return false
-		}
-		obj := pass.Info.Uses[r]
-		if obj == nil {
-			obj = pass.Info.Defs[r]
-		}
-		return obj != nil && set[obj]
-	}
-	found := false
-	ast.Inspect(fd, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			for _, res := range n.Results {
-				if inSet(res) {
-					found = true
-				}
-			}
-		case *ast.CompositeLit:
-			for _, elt := range n.Elts {
-				v := elt
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					v = kv.Value
-				}
-				if inSet(v) {
-					found = true
-				}
-			}
-		case *ast.SendStmt:
-			if inSet(n.Value) {
-				found = true
-			}
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				switch analysis.Unparen(lhs).(type) {
-				case *ast.SelectorExpr, *ast.IndexExpr:
-					if i < len(n.Rhs) && inSet(n.Rhs[i]) {
-						found = true
-					}
-				}
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// returnBetween reports a ReturnStmt positioned between from and to.
-func returnBetween(fd *ast.FuncDecl, from, to token.Pos) (token.Pos, bool) {
-	var pos token.Pos
-	found := false
-	ast.Inspect(fd, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > from && r.Pos() < to {
-			pos, found = r.Pos(), true
-		}
-		return !found
-	})
-	return pos, found
-}
-
-// enclosingPath returns the chain of nodes from fd down to target,
-// target last.
-func enclosingPath(fd *ast.FuncDecl, target ast.Node) []ast.Node {
-	var path, best []ast.Node
-	ast.Inspect(fd, func(n ast.Node) bool {
-		if n == nil {
-			path = path[:len(path)-1]
-			return true
-		}
-		if best != nil {
-			return false
-		}
-		path = append(path, n)
-		if n == target {
-			best = append([]ast.Node(nil), path...)
-			return false
-		}
-		return true
-	})
-	return best
-}
-
-func containsNode(root ast.Expr, target ast.Node) bool {
-	found := false
-	ast.Inspect(root, func(n ast.Node) bool {
-		if n == target {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// wrapFile lets InspectStack (which walks files) start at a single decl.
-func wrapFile(fd *ast.FuncDecl) *ast.File {
-	return &ast.File{Name: ast.NewIdent("_"), Decls: []ast.Decl{fd}}
 }

@@ -1,0 +1,39 @@
+package bad
+
+// Shapes the syntactic analyzer provably missed: it only compared token
+// positions of the acquire, the first release, and any return between
+// them, so a release reachable on SOME path made every path look paired.
+
+// The release lives in one arm only; the fall-through arm leaks. The
+// old checker saw a Release after the acquire with no return between
+// them and stayed silent.
+func leakOneArm(cond bool) {
+	r := NewRes() // want `released on some paths but not all`
+	if cond {
+		r.Release()
+	}
+}
+
+// The early return bails out before the defer registers. The old
+// checker saw "a deferred release exists" and skipped the function
+// entirely — but on the cond path the defer statement never executes.
+func leakReturnBeforeDefer(cond bool) error {
+	r := NewRes()
+	if cond {
+		return nil // want `release it with defer`
+	}
+	defer r.Release()
+	_ = r.refs
+	return nil
+}
+
+// Same shape through a switch: only the default arm releases.
+func leakSwitchArm(n int) {
+	r := NewRes() // want `released on some paths but not all`
+	switch n {
+	case 0:
+		_ = r.refs
+	default:
+		r.Release()
+	}
+}

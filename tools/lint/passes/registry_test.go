@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryWellFormed checks the invariants the command relies on:
+// unique names, non-empty docs, a Run function.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" {
+			t.Fatalf("analyzer with empty name registered")
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %q has no doc string", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run function", a.Name)
+		}
+	}
+}
+
+// TestEveryPassShipsFixtures enforces the fixture convention: each
+// registered analyzer lives in passes/<name>/ with a testdata module
+// containing at least one bad* package (findings, annotated with want
+// comments) and one good* package (silent). A pass without a bad
+// fixture proves nothing; a pass without a good fixture has no noise
+// guard.
+func TestEveryPassShipsFixtures(t *testing.T) {
+	for _, a := range All() {
+		td := filepath.Join(a.Name, "testdata")
+		if _, err := os.Stat(filepath.Join(td, "go.mod")); err != nil {
+			t.Errorf("%s: missing testdata module (%s/go.mod): %v", a.Name, td, err)
+			continue
+		}
+		bad := fixtureDirs(t, td, "bad")
+		good := fixtureDirs(t, td, "good")
+		if len(bad) == 0 {
+			t.Errorf("%s: no bad* fixture package under %s", a.Name, td)
+		}
+		if len(good) == 0 {
+			t.Errorf("%s: no good* fixture package under %s", a.Name, td)
+		}
+		wants := false
+		for _, dir := range bad {
+			wants = wants || hasWantComment(t, dir)
+		}
+		if len(bad) > 0 && !wants {
+			t.Errorf("%s: bad fixtures contain no // want annotations", a.Name)
+		}
+	}
+}
+
+// fixtureDirs returns the testdata subdirectories with the given name
+// prefix that contain at least one .go file.
+func fixtureDirs(t *testing.T, td, prefix string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(td)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), prefix) && hasGoFiles(t, filepath.Join(td, e.Name())) {
+			out = append(out, filepath.Join(td, e.Name()))
+		}
+	}
+	return out
+}
+
+func hasGoFiles(t *testing.T, dir string) bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+func hasWantComment(t *testing.T, dir string) bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", e.Name(), err)
+		}
+		if strings.Contains(string(data), "// want ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,20 +1,30 @@
 // Package spanend enforces the tracing contract (DESIGN §5g): every
 // telemetry span started with StartRoot or StartChild must reach End()
-// in the starting function, or visibly hand the span's ownership
-// elsewhere (return it, store it in a structure, send it, or pass it to
-// a helper that finishes it). A span that only Ends on the
-// straight-line path while an earlier return can bail out first is
-// flagged too: an un-Ended sampled span pins its whole trace's span set
-// in memory and the trace never flushes to the exporter, so the leak is
-// silent — no panic, just a hole in the telemetry.
+// on every non-panic path through the starting function, or visibly
+// hand the span's ownership elsewhere (return it, store it in a
+// structure, send it, or pass it to a helper that finishes it). An
+// un-Ended sampled span pins its whole trace's span set in memory and
+// the trace never flushes to the exporter, so the leak is silent — no
+// panic, just a hole in the telemetry.
+//
+// The check is the path-sensitive must-reach-release dataflow from
+// analysis/ownership. Two upgrades over the original syntactic version:
+// an End present only on some paths (one branch arm, or after an early
+// return the defer has not yet covered) is now a leak on the paths that
+// miss it, and "passed to a helper" is only a hand-off when the helper
+// is unknown or its interprocedural ConsumesFact says it actually Ends
+// the span — a local helper that demonstrably never Ends its argument
+// no longer launders the leak.
 package spanend
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
+	"strings"
 
 	"jsonski/tools/lint/analysis"
+	"jsonski/tools/lint/analysis/ownership"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -23,145 +33,48 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// start is one site that begins a span and owns its End.
-type start struct {
-	pos  token.Pos
-	what string       // StartRoot / StartChild, for diagnostics
-	obj  types.Object // bound variable, nil when the result was consumed inline
-	ok   bool         // satisfied inline (chained .End(), returned, ...)
-}
-
 func run(pass *analysis.Pass) error {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkFunc(pass, fd)
-		}
-	}
+	ownership.Check(pass, rules, messages)
 	return nil
 }
 
-// checkFunc analyzes one top-level function body, nested function
-// literals included: a defer closure ending a span on behalf of its
-// parent is part of the same pairing.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	var starts []*start
-
-	// aliasEdges records sp2 := sp style value flow so an End on any
-	// alias of the started span counts.
-	type edge struct{ from, to types.Object }
-	var edges []edge
-
-	addAssign := func(lhs ast.Expr, rhs ast.Expr) {
-		l, ok := analysis.Unparen(lhs).(*ast.Ident)
-		if !ok {
-			return
-		}
-		lobj := pass.Info.Defs[l]
-		if lobj == nil {
-			lobj = pass.Info.Uses[l]
-		}
-		r := analysis.RootIdent(rhs)
-		if lobj == nil || r == nil {
-			return
-		}
-		robj := pass.Info.Uses[r]
-		if robj == nil {
-			robj = pass.Info.Defs[r]
-		}
-		if robj == nil {
-			return
-		}
-		edges = append(edges, edge{from: robj, to: lobj})
-	}
-
-	ast.Inspect(fd, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if len(n.Lhs) == len(n.Rhs) {
-				for i := range n.Lhs {
-					addAssign(n.Lhs[i], n.Rhs[i])
-				}
-			}
-		case *ast.ValueSpec:
-			if len(n.Names) == len(n.Values) {
-				for i := range n.Names {
-					addAssign(n.Names[i], n.Values[i])
-				}
-			}
-		case *ast.CallExpr:
-			if what, isStart := startKind(pass, n); isStart {
-				starts = append(starts, bindStart(pass, fd, n, what))
-			}
-		}
-		return true
-	})
-	if len(starts) == 0 {
-		return
-	}
-
-	aliases := func(seed types.Object) map[types.Object]bool {
-		set := map[types.Object]bool{seed: true}
-		for changed := true; changed; {
-			changed = false
-			for _, e := range edges {
-				if set[e.from] && !set[e.to] {
-					set[e.to] = true
-					changed = true
-				}
-			}
-		}
-		return set
-	}
-
-	for _, st := range starts {
-		if st.ok {
-			continue
-		}
-		if st.obj == nil {
-			pass.Reportf(st.pos, "span from %s is dropped without an End()", st.what)
-			continue
-		}
-		set := aliases(st.obj)
-		ends := findEnds(pass, fd, set)
-		if transfersOwnership(pass, fd, set) {
-			continue // returned / stored / sent / passed on: owner is elsewhere now
-		}
-		if len(ends.calls) == 0 {
-			pass.Reportf(st.pos, "span %q from %s never reaches End() (and it does not escape); its trace will never flush", st.obj.Name(), st.what)
-			continue
-		}
-		if !ends.anyDeferred {
-			// Straight-line End only: a return between the start and the
-			// End leaks the span on that path.
-			first := ends.calls[0]
-			for _, c := range ends.calls {
-				if c < first {
-					first = c
-				}
-			}
-			if pos, leak := returnBetween(fd, st.pos, first); leak {
-				pass.Reportf(pos, "return leaks span %q started at line %d; end it with defer %s.End()",
-					st.obj.Name(), pass.Fset.Position(st.pos).Line, st.obj.Name())
-			}
-		}
-	}
+var rules = ownership.Rules{
+	Classify:      classify,
+	IsTrackedType: func(pass *analysis.Pass, t types.Type) bool { return isSpan(t) },
+	ReleaseRecv:   func(name string) bool { return name == "End" },
+	ReleaseArg:    nil,
+	// A span handed to an un-summarized callee is the callee's to End:
+	// the hand-off is visible at the call site (the finishEngineSpan
+	// pattern). Summarized callees are held to their summary.
+	ArgHandOff: true,
 }
 
-// startKind classifies a call as a span start: a Start*-named call
-// whose result is a telemetry span.
-func startKind(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+var messages = ownership.Messages{
+	Dropped: func(what string) string {
+		return fmt.Sprintf("span from %s is dropped without an End()", what)
+	},
+	Never: func(what, name string) string {
+		return fmt.Sprintf("span %q from %s never reaches End() (and it does not escape); its trace will never flush", name, what)
+	},
+	LeakReturn: func(name string, startLine int) string {
+		return fmt.Sprintf("return leaks span %q started at line %d; end it with defer %s.End()", name, startLine, name)
+	},
+	LeakMixed: func(what, name string) string {
+		return fmt.Sprintf("span %q from %s reaches End() on some paths but not all; end it with defer %s.End()", name, what, name)
+	},
+}
+
+// classify recognizes a span start: a Start*-named call whose result is
+// a telemetry span.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (string, ast.Expr, bool) {
 	name := analysis.CalleeName(call)
-	if len(name) < len("Start") || name[:len("Start")] != "Start" {
-		return "", false
+	if !strings.HasPrefix(name, "Start") {
+		return "", nil, false
 	}
 	if isSpan(pass.TypeOf(call)) {
-		return name, true
+		return name, nil, true
 	}
-	return "", false
+	return "", nil, false
 }
 
 // isSpan reports whether t is a pointer to the telemetry span shape: a
@@ -179,230 +92,4 @@ func isSpan(t types.Type) bool {
 		return false
 	}
 	return analysis.HasPtrMethod(n, "End") && analysis.HasPtrMethod(n, "StartChild")
-}
-
-// bindStart resolves what happens to the started span: bound to a
-// variable, consumed inline by a chained End, or transferred.
-func bindStart(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, what string) *start {
-	st := &start{pos: call.Pos(), what: what}
-
-	path := enclosingPath(fd, call)
-	// path[len-1] == call; walk outward through value-preserving wrappers.
-	i := len(path) - 2
-	for i >= 0 {
-		if _, ok := path[i].(*ast.TypeAssertExpr); ok {
-			i--
-			continue
-		}
-		if _, ok := path[i].(*ast.ParenExpr); ok {
-			i--
-			continue
-		}
-		break
-	}
-	if i < 0 {
-		return st
-	}
-	switch parent := path[i].(type) {
-	case *ast.AssignStmt:
-		// sp := Start...() (also = forms): bind the matching LHS.
-		for j, rhs := range parent.Rhs {
-			if containsNode(rhs, call) && j < len(parent.Lhs) {
-				if id, ok := analysis.Unparen(parent.Lhs[j]).(*ast.Ident); ok && id.Name != "_" {
-					if obj := pass.Info.Defs[id]; obj != nil {
-						st.obj = obj
-					} else if obj := pass.Info.Uses[id]; obj != nil {
-						st.obj = obj
-					}
-				}
-			}
-		}
-		if st.obj == nil {
-			// Assigned into a field or map: ownership moved into a
-			// structure whose owner Ends it (or blank-discarded, which
-			// stays visible in review).
-			st.ok = true
-		}
-	case *ast.ValueSpec:
-		for j, v := range parent.Values {
-			if containsNode(v, call) && j < len(parent.Names) {
-				if obj := pass.Info.Defs[parent.Names[j]]; obj != nil {
-					st.obj = obj
-				}
-			}
-		}
-		if st.obj == nil {
-			st.ok = true
-		}
-	case *ast.SelectorExpr:
-		// Start...().End(): chained consumption. Any other chained use
-		// (Start...().Context()) drops the span un-Ended.
-		if i-1 >= 0 {
-			if outer, ok := path[i-1].(*ast.CallExpr); ok && parent.Sel.Name == "End" && analysis.Unparen(outer.Fun) == parent {
-				st.ok = true
-				return st
-			}
-		}
-	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.CallExpr, *ast.SendStmt:
-		// Returned, stored into a literal, passed along, or sent:
-		// ownership is the consumer's problem.
-		st.ok = true
-	}
-	return st
-}
-
-// endSites summarizes the End calls that reach an alias set.
-type endSites struct {
-	calls       []token.Pos
-	anyDeferred bool
-}
-
-func findEnds(pass *analysis.Pass, fd *ast.FuncDecl, set map[types.Object]bool) endSites {
-	var out endSites
-	inSet := func(e ast.Expr) bool {
-		r := analysis.RootIdent(e)
-		if r == nil {
-			return false
-		}
-		obj := pass.Info.Uses[r]
-		if obj == nil {
-			obj = pass.Info.Defs[r]
-		}
-		return obj != nil && set[obj]
-	}
-	analysis.InspectStack([]*ast.File{wrapFile(fd)}, func(n ast.Node, stack []ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || analysis.CalleeName(call) != "End" {
-			return true
-		}
-		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok && inSet(sel.X) {
-			out.calls = append(out.calls, call.Pos())
-			for _, anc := range stack {
-				if _, ok := anc.(*ast.DeferStmt); ok {
-					out.anyDeferred = true
-				}
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// transfersOwnership reports whether any alias escapes the function:
-// returned, placed in a composite literal, assigned through a selector
-// or index expression, sent on a channel, or passed as an argument to
-// another call (the finishEngineSpan pattern — the callee owns the End
-// now, and the hand-off is visible at the call site). A method call
-// *on* the span (sp.SetInt(...)) is use, not transfer.
-func transfersOwnership(pass *analysis.Pass, fd *ast.FuncDecl, set map[types.Object]bool) bool {
-	inSet := func(e ast.Expr) bool {
-		r := analysis.RootIdent(e)
-		if r == nil {
-			return false
-		}
-		obj := pass.Info.Uses[r]
-		if obj == nil {
-			obj = pass.Info.Defs[r]
-		}
-		return obj != nil && set[obj]
-	}
-	found := false
-	ast.Inspect(fd, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			for _, res := range n.Results {
-				if inSet(res) {
-					found = true
-				}
-			}
-		case *ast.CompositeLit:
-			for _, elt := range n.Elts {
-				v := elt
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					v = kv.Value
-				}
-				if inSet(v) {
-					found = true
-				}
-			}
-		case *ast.SendStmt:
-			if inSet(n.Value) {
-				found = true
-			}
-		case *ast.CallExpr:
-			for _, arg := range n.Args {
-				if inSet(arg) {
-					found = true
-				}
-			}
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				switch analysis.Unparen(lhs).(type) {
-				case *ast.SelectorExpr, *ast.IndexExpr:
-					if i < len(n.Rhs) && inSet(n.Rhs[i]) {
-						found = true
-					}
-				}
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// returnBetween reports a ReturnStmt positioned between from and to.
-func returnBetween(fd *ast.FuncDecl, from, to token.Pos) (token.Pos, bool) {
-	var pos token.Pos
-	found := false
-	ast.Inspect(fd, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > from && r.Pos() < to {
-			pos, found = r.Pos(), true
-		}
-		return !found
-	})
-	return pos, found
-}
-
-// enclosingPath returns the chain of nodes from fd down to target,
-// target last.
-func enclosingPath(fd *ast.FuncDecl, target ast.Node) []ast.Node {
-	var path, best []ast.Node
-	ast.Inspect(fd, func(n ast.Node) bool {
-		if n == nil {
-			path = path[:len(path)-1]
-			return true
-		}
-		if best != nil {
-			return false
-		}
-		path = append(path, n)
-		if n == target {
-			best = append([]ast.Node(nil), path...)
-			return false
-		}
-		return true
-	})
-	return best
-}
-
-func containsNode(root ast.Expr, target ast.Node) bool {
-	found := false
-	ast.Inspect(root, func(n ast.Node) bool {
-		if n == target {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// wrapFile lets InspectStack (which walks files) start at a single decl.
-func wrapFile(fd *ast.FuncDecl) *ast.File {
-	return &ast.File{Name: ast.NewIdent("_"), Decls: []ast.Decl{fd}}
 }

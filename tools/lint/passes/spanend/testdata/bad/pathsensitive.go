@@ -1,0 +1,43 @@
+package bad
+
+import "fix/telemetry"
+
+// Shapes the syntactic analyzer provably missed.
+
+// End lives in one arm only; the fall-through arm leaks the span. The
+// old checker saw an End after the start with no return between them
+// and stayed silent.
+func leakOneArm(sampled bool) {
+	sp := tracer.StartRoot("q", telemetry.SpanContext{}) // want `reaches End\(\) on some paths but not all`
+	if sampled {
+		sp.End()
+	}
+}
+
+// The early return bails out before the defer registers; on the fail
+// path the defer statement never executes. The old checker saw "a
+// deferred End exists" and skipped the function entirely.
+func leakReturnBeforeDefer(fail bool) error {
+	sp := tracer.StartRoot("q", telemetry.SpanContext{})
+	if fail {
+		return errOut() // want `end it with defer`
+	}
+	defer sp.End()
+	sp.SetInt("k", 1)
+	return nil
+}
+
+func errOut() error { return nil }
+
+// Passing the span to a local helper used to count as a hand-off no
+// matter what the helper did. annotate demonstrably never Ends its
+// argument — its interprocedural summary says so — so the span still
+// leaks here.
+func leakThroughNonConsumingHelper() {
+	sp := tracer.StartRoot("q", telemetry.SpanContext{}) // want `never reaches End`
+	annotate(sp)
+}
+
+func annotate(sp *telemetry.Span) { // want annotate:`consumes\(\)`
+	sp.SetInt("k", 1)
+}
